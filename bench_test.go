@@ -1,0 +1,79 @@
+// Package pangea's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (§9). Each benchmark runs one experiment from
+// internal/exp and prints its table once (on the first iteration), so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Benchmarks default to the harness's full
+// (MB-scale) workloads; set PANGEA_QUICK=1 for the CI-sized ones.
+package pangea_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"pangea/internal/exp"
+)
+
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	o := exp.Options{Quick: os.Getenv("PANGEA_QUICK") == "1", Dir: b.TempDir()}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Run(id, o)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if _, dup := printOnce.LoadOrStore(id, true); !dup {
+			t.Print(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig3KMeansLatency regenerates Fig 3: k-means latency for Pangea
+// under six paging policies vs Spark over HDFS, Alluxio and Ignite.
+func BenchmarkFig3KMeansLatency(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4KMeansMemory regenerates Fig 4: memory usage per setup.
+func BenchmarkFig4KMeansMemory(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5TPCH regenerates Fig 5: the nine TPC-H queries with
+// heterogeneous replicas vs runtime repartition.
+func BenchmarkFig5TPCH(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6Recovery regenerates Fig 6: single-node failure recovery
+// latency across cluster sizes.
+func BenchmarkFig6Recovery(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7SequentialTransient regenerates Fig 7: sequential access to
+// transient data vs OS VM and Alluxio.
+func BenchmarkFig7SequentialTransient(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8SequentialPersistent regenerates Fig 8: sequential access to
+// persistent data vs the OS file system and HDFS.
+func BenchmarkFig8SequentialPersistent(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9PagingSequential regenerates Fig 9: paging policies on the
+// sequential workload for both durability classes.
+func BenchmarkFig9PagingSequential(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10PagingShuffle regenerates Fig 10: paging policies on the
+// shuffle workload.
+func BenchmarkFig10PagingShuffle(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkTab2SLOC regenerates Table 2: the query processor's source-line
+// breakdown.
+func BenchmarkTab2SLOC(b *testing.B) { runExperiment(b, "tab2") }
+
+// BenchmarkTab3Shuffle regenerates Table 3: shuffle write/read latency vs
+// the simulated Spark shuffle.
+func BenchmarkTab3Shuffle(b *testing.B) { runExperiment(b, "tab3") }
+
+// BenchmarkTab4KVAggregation regenerates Table 4: key-value aggregation vs
+// a Go map and the Redis-like store.
+func BenchmarkTab4KVAggregation(b *testing.B) { runExperiment(b, "tab4") }
+
+// BenchmarkS7Colliding regenerates the §7 colliding-object study.
+func BenchmarkS7Colliding(b *testing.B) { runExperiment(b, "s7") }

@@ -1,0 +1,64 @@
+// Command pangea-bench regenerates the paper's tables and figures (§9) on
+// the simulated substrate.
+//
+// Usage:
+//
+//	pangea-bench -exp fig3          # one experiment
+//	pangea-bench -exp all           # everything, in the paper's order
+//	pangea-bench -exp fig7 -quick   # CI-sized workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pangea/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment id (fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 tab4 s7) or 'all'")
+		quick = flag.Bool("quick", false, "run the CI-sized workloads")
+		dir   = flag.String("dir", "", "scratch directory for simulated drives (default: a temp dir)")
+	)
+	flag.Parse()
+
+	scratch := *dir
+	if scratch == "" {
+		var err error
+		scratch, err = os.MkdirTemp("", "pangea-bench-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(scratch)
+	}
+	o := exp.Options{Quick: *quick, Dir: scratch}
+
+	run := func(id string, fn exp.RunFunc) {
+		t, err := fn(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		t.Print(os.Stdout)
+	}
+	if *which == "all" {
+		for _, e := range exp.Registry {
+			run(e.ID, e.Fn)
+		}
+		return
+	}
+	for _, e := range exp.Registry {
+		if e.ID == *which {
+			run(e.ID, e.Fn)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q; known:\n", *which)
+	for _, e := range exp.Registry {
+		fmt.Fprintf(os.Stderr, "  %-6s %s\n", e.ID, e.Doc)
+	}
+	os.Exit(2)
+}

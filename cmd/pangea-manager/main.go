@@ -1,0 +1,40 @@
+// Command pangea-manager runs the Pangea manager node: the light-weight
+// coordinator that registers workers, serves the locality set catalog, and
+// hosts the statistics database of replica groups (paper §3.3).
+//
+// Usage:
+//
+//	pangea-manager -listen :7700 -key <private-key>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pangea/internal/cluster"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7700", "address to listen on")
+		key    = flag.String("key", "", "cluster private key (required)")
+	)
+	flag.Parse()
+	if *key == "" {
+		fmt.Fprintln(os.Stderr, "pangea-manager: -key is required (the cluster's private key)")
+		os.Exit(2)
+	}
+	mgr, err := cluster.NewManager(*listen, *key)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pangea-manager:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pangea-manager listening on %s\n", mgr.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	_ = mgr.Close()
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import "sync"
+
+// CircularBuffer is the thread-safe circular buffer of Fig 2: the data
+// proxy pushes page metadata received from the storage process into it, and
+// long-living worker threads pull one page's metadata at a time. Push
+// blocks while the ring is full; Pull blocks while it is empty. Closing the
+// buffer lets Pull drain the remaining items and then report completion —
+// the NoMorePage signal.
+type CircularBuffer struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    []PageMeta
+	head     int
+	n        int
+	closed   bool
+}
+
+// NewCircularBuffer builds a ring holding up to capacity page descriptors.
+func NewCircularBuffer(capacity int) *CircularBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	cb := &CircularBuffer{items: make([]PageMeta, capacity)}
+	cb.notFull = sync.NewCond(&cb.mu)
+	cb.notEmpty = sync.NewCond(&cb.mu)
+	return cb
+}
+
+// Push enqueues one page descriptor, blocking while the ring is full.
+// Pushing to a closed buffer reports false.
+func (cb *CircularBuffer) Push(m PageMeta) bool {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	for cb.n == len(cb.items) && !cb.closed {
+		cb.notFull.Wait()
+	}
+	if cb.closed {
+		return false
+	}
+	cb.items[(cb.head+cb.n)%len(cb.items)] = m
+	cb.n++
+	cb.notEmpty.Signal()
+	return true
+}
+
+// Pull dequeues one page descriptor, blocking while the ring is empty. ok
+// is false once the buffer is closed and drained — no more pages.
+func (cb *CircularBuffer) Pull() (m PageMeta, ok bool) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	for cb.n == 0 && !cb.closed {
+		cb.notEmpty.Wait()
+	}
+	if cb.n == 0 {
+		return PageMeta{}, false
+	}
+	m = cb.items[cb.head]
+	cb.head = (cb.head + 1) % len(cb.items)
+	cb.n--
+	cb.notFull.Signal()
+	return m, true
+}
+
+// Close marks the end of the page stream. Blocked Pulls drain remaining
+// items and then return ok=false; blocked Pushes abort.
+func (cb *CircularBuffer) Close() {
+	cb.mu.Lock()
+	cb.closed = true
+	cb.notEmpty.Broadcast()
+	cb.notFull.Broadcast()
+	cb.mu.Unlock()
+}
+
+// Len reports the queued descriptor count.
+func (cb *CircularBuffer) Len() int {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return cb.n
+}

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pangea/internal/core"
+)
+
+const testKey = "test-private-key"
+
+// startCluster spins up a manager and n workers on localhost, registering
+// the workers.
+func startCluster(t *testing.T, n int, memPerWorker int64) (*Manager, []*Worker, *Client) {
+	t.Helper()
+	mgr, err := NewManager("127.0.0.1:0", testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mgr.Close() })
+	cl := NewClient(mgr.Addr(), testKey)
+	var workers []*Worker
+	for i := 0; i < n; i++ {
+		w, err := NewWorker("127.0.0.1:0", WorkerConfig{
+			PrivateKey: testKey,
+			Memory:     memPerWorker,
+			DiskDir:    t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = w.Close() })
+		if _, err := cl.RegisterWorker(w.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	return mgr, workers, cl
+}
+
+func TestRegisterAndListWorkers(t *testing.T) {
+	_, workers, cl := startCluster(t, 3, 1<<20)
+	addrs, err := cl.Workers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("workers = %d, want 3", len(addrs))
+	}
+	for i, w := range workers {
+		if addrs[i] != w.Addr() {
+			t.Errorf("worker %d addr = %s, want %s", i, addrs[i], w.Addr())
+		}
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	mgr, err := NewManager("127.0.0.1:0", testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	bad := NewClient(mgr.Addr(), "wrong-key")
+	if _, err := bad.Workers(); err == nil {
+		t.Error("manager accepted an invalid key")
+	}
+	w, err := NewWorker("127.0.0.1:0", WorkerConfig{PrivateKey: testKey, Memory: 1 << 20, DiskDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := bad.CreateSetOn(w.Addr(), "s", 4096, 0); err == nil {
+		t.Error("worker accepted an invalid key")
+	}
+}
+
+func TestAddFetchRoundTrip(t *testing.T) {
+	_, workers, cl := startCluster(t, 2, 1<<20)
+	if err := cl.CreateSet("data", 4096, uint8(core.WriteBack)); err != nil {
+		t.Fatal(err)
+	}
+	var recs [][]byte
+	for i := 0; i < 100; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("rec-%03d", i)))
+	}
+	if err := cl.AddRecords(workers[0].Addr(), "data", recs[:60]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddRecords(workers[1].Addr(), "data", recs[60:]); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for _, w := range workers {
+		if err := cl.FetchSet(w.Addr(), "data", func(rec []byte) error {
+			got++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got != 100 {
+		t.Errorf("fetched %d records, want 100", got)
+	}
+}
+
+func TestProxyScanSharedMemory(t *testing.T) {
+	_, workers, cl := startCluster(t, 1, 4<<20)
+	w := workers[0]
+	if err := cl.CreateSet("scan", 64<<10, uint8(core.WriteBack)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	var recs [][]byte
+	for i := 0; i < n; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("%06d", i)))
+	}
+	if err := cl.AddRecords(w.Addr(), "scan", recs); err != nil {
+		t.Fatal(err)
+	}
+	dp := NewDataProxy(w, testKey)
+	seen := make([]bool, n)
+	var mu sync.Mutex
+	if err := dp.Scan("scan", 4, func(_ int, rec []byte) error {
+		var i int
+		if _, err := fmt.Sscanf(string(rec), "%d", &i); err != nil {
+			return err
+		}
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("record %d missed by proxy scan", i)
+		}
+	}
+	// After the scan everything must be unpinned: a DropSet must succeed.
+	if err := cl.DropSet(w.Addr(), "scan"); err != nil {
+		t.Errorf("drop after scan: %v", err)
+	}
+}
+
+func TestProxyPageWriter(t *testing.T) {
+	_, workers, cl := startCluster(t, 1, 4<<20)
+	w := workers[0]
+	if err := cl.CreateSet("out", 32<<10, uint8(core.WriteBack)); err != nil {
+		t.Fatal(err)
+	}
+	dp := NewDataProxy(w, testKey)
+	pw := dp.NewPageWriter("out")
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := pw.Add([]byte(fmt.Sprintf("row-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pw.Count() != n {
+		t.Errorf("Count = %d, want %d", pw.Count(), n)
+	}
+	var got int
+	if err := dp.Scan("out", 2, func(_ int, rec []byte) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Errorf("scanned %d, want %d", got, n)
+	}
+}
+
+func TestScanSpilledSetViaProxy(t *testing.T) {
+	// The set exceeds worker memory; the proxy scan must transparently
+	// reload spilled pages through the storage process.
+	_, workers, cl := startCluster(t, 1, 128<<10)
+	w := workers[0]
+	if err := cl.CreateSet("big", 16<<10, uint8(core.WriteBack)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	batch := make([][]byte, 0, 500)
+	for i := 0; i < n; i++ {
+		batch = append(batch, []byte(fmt.Sprintf("%08d", i)))
+		if len(batch) == 500 {
+			if err := cl.AddRecords(w.Addr(), "big", batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if w.Pool().Stats().Evictions.Load() == 0 {
+		t.Fatal("expected evictions on the worker")
+	}
+	dp := NewDataProxy(w, testKey)
+	var count int
+	var mu sync.Mutex
+	if err := dp.Scan("big", 3, func(_ int, rec []byte) error {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Errorf("scanned %d, want %d", count, n)
+	}
+}
+
+func TestReplicaRegistry(t *testing.T) {
+	_, _, cl := startCluster(t, 1, 1<<20)
+	if err := cl.RegisterReplica("lineitem", "lineitem_by_orderkey", "hash(l_orderkey)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RegisterReplica("lineitem", "lineitem_by_partkey", "hash(l_partkey)"); err != nil {
+		t.Fatal(err)
+	}
+	group, err := cl.Replicas("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(group) != 3 {
+		t.Fatalf("replica group size = %d, want 3 (source + 2 replicas)", len(group))
+	}
+	if group[0].Set != "lineitem" || group[0].Scheme != "random" {
+		t.Errorf("group[0] = %+v, want the source with scheme random", group[0])
+	}
+	// Unregistered sets answer with only themselves.
+	solo, err := cl.Replicas("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo) != 1 || solo[0].Set != "orders" {
+		t.Errorf("solo group = %+v", solo)
+	}
+}
+
+func TestSetStats(t *testing.T) {
+	_, workers, cl := startCluster(t, 1, 1<<20)
+	w := workers[0]
+	if err := cl.CreateSet("s", 4096, uint8(core.WriteThrough)); err != nil {
+		t.Fatal(err)
+	}
+	var recs [][]byte
+	for i := 0; i < 100; i++ {
+		recs = append(recs, make([]byte, 100))
+	}
+	if err := cl.AddRecords(w.Addr(), "s", recs); err != nil {
+		t.Fatal(err)
+	}
+	// Fetch closes the writer so all pages are sealed and flushed.
+	if err := cl.FetchSet(w.Addr(), "s", func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.SetStats(w.Addr(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumPages < 3 {
+		t.Errorf("NumPages = %d, want >= 3", st.NumPages)
+	}
+	if st.DiskBytes == 0 {
+		t.Error("write-through set should have disk bytes")
+	}
+}
+
+func TestCircularBufferOrderAndClose(t *testing.T) {
+	cb := NewCircularBuffer(4)
+	go func() {
+		for i := 0; i < 100; i++ {
+			cb.Push(PageMeta{PageNum: int64(i)})
+		}
+		cb.Close()
+	}()
+	for i := 0; i < 100; i++ {
+		m, ok := cb.Pull()
+		if !ok {
+			t.Fatalf("buffer closed early at %d", i)
+		}
+		if m.PageNum != int64(i) {
+			t.Fatalf("out of order: got %d want %d", m.PageNum, i)
+		}
+	}
+	if _, ok := cb.Pull(); ok {
+		t.Error("Pull after close+drain must report no more pages")
+	}
+}
+
+func TestCircularBufferConcurrentPullers(t *testing.T) {
+	cb := NewCircularBuffer(8)
+	const n = 1000
+	go func() {
+		for i := 0; i < n; i++ {
+			cb.Push(PageMeta{PageNum: int64(i)})
+		}
+		cb.Close()
+	}()
+	var mu sync.Mutex
+	seen := make(map[int64]bool)
+	var wg sync.WaitGroup
+	for t := 0; t < 5; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, ok := cb.Pull()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[m.PageNum] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Errorf("pulled %d distinct items, want %d", len(seen), n)
+	}
+}
+
+func TestAuthTokenDeterministic(t *testing.T) {
+	if AuthToken("k") != AuthToken("k") {
+		t.Error("token not deterministic")
+	}
+	if AuthToken("a") == AuthToken("b") {
+		t.Error("different keys produced the same token")
+	}
+}

@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Manager is Pangea's light-weight manager node (§3.3): it accepts user
+// applications, maintains the worker registry, the locality set catalog and
+// the statistics database that records replica groups and partition schemes
+// for the data placement optimizer (§7). Compared to an HDFS name node it
+// stores considerably less metadata: per-page locations live in the worker
+// meta files, not here (§4).
+type Manager struct {
+	auth string
+	ln   net.Listener
+
+	mu       sync.Mutex
+	workers  []string
+	replicas map[string][]ReplicaInfo // source set -> replica group
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager starts a manager listening on addr.
+func NewManager(addr, privateKey string) (*Manager, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		auth:     AuthToken(privateKey),
+		ln:       ln,
+		replicas: make(map[string][]ReplicaInfo),
+	}
+	m.wg.Add(1)
+	go m.serve()
+	return m, nil
+}
+
+// Addr returns the manager's listen address.
+func (m *Manager) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the manager.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	err := m.ln.Close()
+	m.wg.Wait()
+	return err
+}
+
+func (m *Manager) serve() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.handleConn(newConn(c))
+		}()
+	}
+}
+
+func (m *Manager) handleConn(c *conn) {
+	defer c.close()
+	msg, err := c.recv()
+	if err != nil {
+		return
+	}
+	switch req := msg.(type) {
+	case RegisterWorkerReq:
+		if req.Auth != m.auth {
+			c.send(RegisterWorkerResp{Err: "invalid key"})
+			return
+		}
+		m.mu.Lock()
+		id := len(m.workers)
+		m.workers = append(m.workers, req.Addr)
+		m.mu.Unlock()
+		c.send(RegisterWorkerResp{ID: id})
+	case ListWorkersReq:
+		if req.Auth != m.auth {
+			c.send(ListWorkersResp{Err: "invalid key"})
+			return
+		}
+		m.mu.Lock()
+		addrs := append([]string(nil), m.workers...)
+		m.mu.Unlock()
+		c.send(ListWorkersResp{Addrs: addrs})
+	case RegisterReplicaReq:
+		if req.Auth != m.auth {
+			c.send(OKResp{Err: "invalid key"})
+			return
+		}
+		m.mu.Lock()
+		group := m.replicas[req.Source]
+		if len(group) == 0 {
+			// The source itself is the first member of its replication
+			// group, with its native (random-dispatch) organization.
+			group = append(group, ReplicaInfo{Set: req.Source, Scheme: "random"})
+		}
+		group = append(group, ReplicaInfo{Set: req.Target, Scheme: req.Scheme})
+		m.replicas[req.Source] = group
+		m.mu.Unlock()
+		c.send(OKResp{})
+	case GetReplicasReq:
+		if req.Auth != m.auth {
+			c.send(GetReplicasResp{Err: "invalid key"})
+			return
+		}
+		m.mu.Lock()
+		group := append([]ReplicaInfo(nil), m.replicas[req.Source]...)
+		m.mu.Unlock()
+		if len(group) == 0 {
+			group = []ReplicaInfo{{Set: req.Source, Scheme: "random"}}
+		}
+		c.send(GetReplicasResp{Replicas: group})
+	case ShutdownReq:
+		if req.Auth == m.auth {
+			c.send(OKResp{})
+			go m.Close()
+		} else {
+			c.send(OKResp{Err: "invalid key"})
+		}
+	default:
+		c.send(OKResp{Err: fmt.Sprintf("manager: unexpected message %T", msg)})
+	}
+}
+
+// Client is an application's handle on a Pangea deployment: it talks to the
+// manager for catalog and statistics queries, and to the workers for data
+// operations. Bootstrapping requires the cluster's private key; a non-valid
+// key causes every call to fail (§3.3).
+type Client struct {
+	managerAddr string
+	auth        string
+}
+
+// NewClient builds a client from the manager address and the user's
+// submitted private key.
+func NewClient(managerAddr, privateKey string) *Client {
+	return &Client{managerAddr: managerAddr, auth: AuthToken(privateKey)}
+}
+
+// respErr converts a transport or in-band error to a Go error.
+func respErr(msg any, err error) error {
+	if err != nil {
+		return err
+	}
+	switch r := msg.(type) {
+	case OKResp:
+		if r.Err != "" {
+			return errors.New(r.Err)
+		}
+	case RegisterWorkerResp:
+		if r.Err != "" {
+			return errors.New(r.Err)
+		}
+	case ListWorkersResp:
+		if r.Err != "" {
+			return errors.New(r.Err)
+		}
+	case GetReplicasResp:
+		if r.Err != "" {
+			return errors.New(r.Err)
+		}
+	case SetStatsResp:
+		if r.Err != "" {
+			return errors.New(r.Err)
+		}
+	}
+	return nil
+}
+
+// RegisterWorker announces a worker to the manager and returns its index.
+func (cl *Client) RegisterWorker(workerAddr string) (int, error) {
+	msg, err := call(cl.managerAddr, RegisterWorkerReq{Auth: cl.auth, Addr: workerAddr})
+	if err := respErr(msg, err); err != nil {
+		return 0, err
+	}
+	return msg.(RegisterWorkerResp).ID, nil
+}
+
+// Workers lists the registered worker addresses.
+func (cl *Client) Workers() ([]string, error) {
+	msg, err := call(cl.managerAddr, ListWorkersReq{Auth: cl.auth})
+	if err := respErr(msg, err); err != nil {
+		return nil, err
+	}
+	return msg.(ListWorkersResp).Addrs, nil
+}
+
+// CreateSet creates a locality set with the same name on every worker.
+func (cl *Client) CreateSet(name string, pageSize int64, durability uint8) error {
+	addrs, err := cl.Workers()
+	if err != nil {
+		return err
+	}
+	for _, a := range addrs {
+		msg, err := call(a, CreateSetReq{Auth: cl.auth, Name: name, PageSize: pageSize, Durability: durability})
+		if err := respErr(msg, err); err != nil {
+			return fmt.Errorf("create %q on %s: %w", name, a, err)
+		}
+	}
+	return nil
+}
+
+// CreateSetOn creates a locality set on one worker only.
+func (cl *Client) CreateSetOn(addr, name string, pageSize int64, durability uint8) error {
+	msg, err := call(addr, CreateSetReq{Auth: cl.auth, Name: name, PageSize: pageSize, Durability: durability})
+	return respErr(msg, err)
+}
+
+// AddRecords appends records to a set on one worker.
+func (cl *Client) AddRecords(addr, set string, records [][]byte) error {
+	msg, err := call(addr, AddRecordsReq{Auth: cl.auth, Set: set, Records: records})
+	return respErr(msg, err)
+}
+
+// FetchSet streams every record of a set on one worker to fn.
+func (cl *Client) FetchSet(addr, set string, fn func(rec []byte) error) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.close()
+	if err := c.send(FetchSetReq{Auth: cl.auth, Set: set}); err != nil {
+		return err
+	}
+	for {
+		msg, err := c.recv()
+		if err != nil {
+			return err
+		}
+		b, ok := msg.(RecordBatch)
+		if !ok {
+			return fmt.Errorf("cluster: unexpected %T in fetch stream", msg)
+		}
+		if b.Err != "" {
+			return errors.New(b.Err)
+		}
+		for _, rec := range b.Records {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		if b.Last {
+			return nil
+		}
+	}
+}
+
+// DropSet removes a set from one worker.
+func (cl *Client) DropSet(addr, set string) error {
+	msg, err := call(addr, DropSetReq{Auth: cl.auth, Set: set})
+	return respErr(msg, err)
+}
+
+// SetStats queries one worker's statistics for a set.
+func (cl *Client) SetStats(addr, set string) (SetStatsResp, error) {
+	msg, err := call(addr, SetStatsReq{Auth: cl.auth, Set: set})
+	if err := respErr(msg, err); err != nil {
+		return SetStatsResp{}, err
+	}
+	return msg.(SetStatsResp), nil
+}
+
+// RegisterReplica records target as a replica of source in the statistics
+// database (§7).
+func (cl *Client) RegisterReplica(source, target, scheme string) error {
+	msg, err := call(cl.managerAddr, RegisterReplicaReq{Auth: cl.auth, Source: source, Target: target, Scheme: scheme})
+	return respErr(msg, err)
+}
+
+// Replicas returns the replica group of a source set. Query schedulers use
+// this to choose the physical organization that co-partitions a join (§7,
+// §9.1.2).
+func (cl *Client) Replicas(source string) ([]ReplicaInfo, error) {
+	msg, err := call(cl.managerAddr, GetReplicasReq{Auth: cl.auth, Source: source})
+	if err := respErr(msg, err); err != nil {
+		return nil, err
+	}
+	return msg.(GetReplicasResp).Replicas, nil
+}

@@ -1,0 +1,270 @@
+// Package cluster implements Pangea's distributed layer (paper §3.3, §5):
+// a light-weight manager node that accepts applications, maintains the
+// locality set catalog and the statistics database; worker nodes that run
+// the storage process (buffer pool + file system + services); and the data
+// proxy through which co-located computation processes coordinate page
+// access with the storage process over sockets while touching page bytes
+// through shared memory (Fig 2).
+//
+// All wire messages are gob-encoded envelopes over TCP, standing in for the
+// paper's hand-rolled message protocols on top of TCP/IP.
+package cluster
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"net"
+
+	"pangea/internal/core"
+)
+
+// Messages. Every request carries an Auth token derived from the cluster's
+// private key; a non-valid key terminates the request (the paper's
+// public-key bootstrap, §3.3).
+
+// envelope wraps one message for gob transport.
+type envelope struct {
+	Msg any
+}
+
+// RegisterWorkerReq announces a worker to the manager.
+type RegisterWorkerReq struct {
+	Auth string
+	Addr string // the worker's listen address
+}
+
+// RegisterWorkerResp acknowledges registration with the worker's index.
+type RegisterWorkerResp struct {
+	ID  int
+	Err string
+}
+
+// ListWorkersReq asks the manager for the live worker addresses.
+type ListWorkersReq struct{ Auth string }
+
+// ListWorkersResp lists worker addresses in registration order.
+type ListWorkersResp struct {
+	Addrs []string
+	Err   string
+}
+
+// CreateSetReq creates a locality set on one worker.
+type CreateSetReq struct {
+	Auth       string
+	Name       string
+	PageSize   int64
+	Durability uint8 // core.DurabilityType
+}
+
+// OKResp is the generic acknowledgement.
+type OKResp struct{ Err string }
+
+// AddRecordsReq appends a batch of records to a set through the worker's
+// sequential write service.
+type AddRecordsReq struct {
+	Auth    string
+	Set     string
+	Records [][]byte
+}
+
+// FetchSetReq streams every record of a set back to the caller, batched.
+// Used by broadcast and recovery, which must cross node boundaries.
+type FetchSetReq struct {
+	Auth string
+	Set  string
+}
+
+// RecordBatch is one streamed batch; Last marks the end of the stream.
+type RecordBatch struct {
+	Records [][]byte
+	Last    bool
+	Err     string
+}
+
+// GetSetPagesReq starts the Fig 2 scan flow: the storage process pins the
+// set's pages and streams their metadata; the proxy feeds a circular buffer.
+type GetSetPagesReq struct {
+	Auth string
+	Set  string
+}
+
+// PageMeta is the metadata of one pinned page, shipped over the socket. The
+// page's bytes are NOT copied: computation threads slice the shared arena
+// at Offset.
+type PageMeta struct {
+	PageNum int64
+	Offset  int64
+	Size    int64
+	// NoMorePage marks the end of the scan stream.
+	NoMorePage bool
+	Err        string
+}
+
+// PageDone tells the storage process a computation thread has finished one
+// page, so it can be unpinned.
+type PageDone struct {
+	PageNum int64
+}
+
+// PinPageReq asks the storage process to pin a fresh page of a set for
+// writing (the PinPage message of §5).
+type PinPageReq struct {
+	Auth string
+	Set  string
+}
+
+// PinPageResp returns the pinned page's location in shared memory.
+type PinPageResp struct {
+	PageNum int64
+	Offset  int64
+	Size    int64
+	Err     string
+}
+
+// UnpinPageReq releases a page pinned via PinPageReq.
+type UnpinPageReq struct {
+	Auth    string
+	Set     string
+	PageNum int64
+	Dirty   bool
+}
+
+// DropSetReq removes a set from one worker.
+type DropSetReq struct {
+	Auth string
+	Set  string
+}
+
+// SetStatsReq asks a worker for a set's page counts.
+type SetStatsReq struct {
+	Auth string
+	Set  string
+}
+
+// SetStatsResp reports one worker's view of a set.
+type SetStatsResp struct {
+	NumPages  int64
+	Resident  int
+	DiskBytes int64
+	Err       string
+}
+
+// RegisterReplicaReq records replica metadata in the manager's statistics
+// database (§7): target set is a replica of source set under scheme.
+type RegisterReplicaReq struct {
+	Auth   string
+	Source string
+	Target string
+	Scheme string // partitioner name, e.g. "hash(l_orderkey)"
+}
+
+// GetReplicasReq queries the statistics database for a set's replica group.
+type GetReplicasReq struct {
+	Auth   string
+	Source string
+}
+
+// ReplicaInfo describes one registered replica.
+type ReplicaInfo struct {
+	Set    string
+	Scheme string
+}
+
+// GetReplicasResp lists the replica group of a set, including the source
+// itself.
+type GetReplicasResp struct {
+	Replicas []ReplicaInfo
+	Err      string
+}
+
+// ShutdownReq asks a node to stop serving.
+type ShutdownReq struct{ Auth string }
+
+func init() {
+	gob.Register(RegisterWorkerReq{})
+	gob.Register(RegisterWorkerResp{})
+	gob.Register(ListWorkersReq{})
+	gob.Register(ListWorkersResp{})
+	gob.Register(CreateSetReq{})
+	gob.Register(OKResp{})
+	gob.Register(AddRecordsReq{})
+	gob.Register(FetchSetReq{})
+	gob.Register(RecordBatch{})
+	gob.Register(GetSetPagesReq{})
+	gob.Register(PageMeta{})
+	gob.Register(PageDone{})
+	gob.Register(PinPageReq{})
+	gob.Register(PinPageResp{})
+	gob.Register(UnpinPageReq{})
+	gob.Register(DropSetReq{})
+	gob.Register(SetStatsReq{})
+	gob.Register(SetStatsResp{})
+	gob.Register(RegisterReplicaReq{})
+	gob.Register(GetReplicasReq{})
+	gob.Register(GetReplicasResp{})
+	gob.Register(ShutdownReq{})
+}
+
+// conn wraps a TCP connection with gob codecs.
+type conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func dial(addr string) (*conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return newConn(c), nil
+}
+
+func (c *conn) send(msg any) error {
+	return c.enc.Encode(envelope{Msg: msg})
+}
+
+func (c *conn) recv() (any, error) {
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.Msg, nil
+}
+
+func (c *conn) close() error { return c.c.Close() }
+
+// call performs one request/response round trip on a fresh connection.
+func call(addr string, req any) (any, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	return c.recv()
+}
+
+// AuthToken derives the wire token from the cluster's private key. A
+// deployment shares one key pair; the HMAC keeps the raw key off the wire.
+func AuthToken(privateKey string) string {
+	m := hmac.New(sha256.New, []byte(privateKey))
+	m.Write([]byte("pangea-cluster-v1"))
+	return fmt.Sprintf("%x", m.Sum(nil))
+}
+
+// durabilityFromWire converts the wire byte back to a core type.
+func durabilityFromWire(d uint8) core.DurabilityType {
+	if d == uint8(core.WriteThrough) {
+		return core.WriteThrough
+	}
+	return core.WriteBack
+}

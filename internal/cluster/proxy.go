@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pangea/internal/core"
+	"pangea/internal/services"
+)
+
+// DataProxy is the computation-process side of Fig 2. It is co-located with
+// one worker's storage process: control messages (GetSetPages, PinPage,
+// page acknowledgements) travel over the socket, while page bytes are
+// accessed directly through the storage process's shared memory arena —
+// no copy, no serialization.
+type DataProxy struct {
+	workerAddr string
+	auth       string
+	pool       *core.BufferPool // the co-located worker's shared memory
+}
+
+// NewDataProxy attaches a computation process to its node's worker. The
+// worker handle provides the shared memory mapping; the address carries the
+// socket protocol.
+func NewDataProxy(w *Worker, privateKey string) *DataProxy {
+	return &DataProxy{workerAddr: w.Addr(), auth: AuthToken(privateKey), pool: w.Pool()}
+}
+
+// Scan runs the Fig 2 flow: a GetSetPages message starts the storage
+// process pinning pages; their metadata is pushed into a thread-safe
+// circular buffer; numThreads long-living worker threads pull page metadata
+// in a loop, slice the shared arena at the indicated offset, and run fn
+// over every record. Pages are acknowledged (and unpinned by the storage
+// process) as each thread finishes them.
+func (dp *DataProxy) Scan(set string, numThreads int, fn func(thread int, rec []byte) error) error {
+	if numThreads < 1 {
+		numThreads = 1
+	}
+	c, err := dial(dp.workerAddr)
+	if err != nil {
+		return err
+	}
+	defer c.close()
+	if err := c.send(GetSetPagesReq{Auth: dp.auth, Set: set}); err != nil {
+		return err
+	}
+
+	cb := NewCircularBuffer(16)
+	var ackMu sync.Mutex // gob encoder is not concurrency-safe
+	ack := func(num int64) error {
+		ackMu.Lock()
+		defer ackMu.Unlock()
+		return c.send(PageDone{PageNum: num})
+	}
+
+	// Receiver: socket -> circular buffer.
+	recvErr := make(chan error, 1)
+	go func() {
+		defer cb.Close()
+		for {
+			msg, err := c.recv()
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			pm, ok := msg.(PageMeta)
+			if !ok {
+				recvErr <- fmt.Errorf("cluster: unexpected %T in scan stream", msg)
+				return
+			}
+			if pm.Err != "" {
+				recvErr <- errors.New(pm.Err)
+				return
+			}
+			if pm.NoMorePage {
+				recvErr <- nil
+				return
+			}
+			if !cb.Push(pm) {
+				recvErr <- nil
+				return
+			}
+		}
+	}()
+
+	// Long-living computation threads: pull page metadata, touch shared
+	// memory, acknowledge.
+	var wg sync.WaitGroup
+	workErrs := make(chan error, numThreads)
+	arena := dp.pool.SharedMemory()
+	for t := 0; t < numThreads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for {
+				pm, ok := cb.Pull()
+				if !ok {
+					return
+				}
+				buf := arena.Slice(pm.Offset, pm.Size)
+				err := services.WalkPage(buf, func(rec []byte) error { return fn(t, rec) })
+				if aerr := ack(pm.PageNum); err == nil {
+					err = aerr
+				}
+				if err != nil {
+					workErrs <- err
+					cb.Close()
+					return
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	close(workErrs)
+	for err := range workErrs {
+		if err != nil {
+			return err
+		}
+	}
+	if err := <-recvErr; err != nil {
+		return err
+	}
+	// End-of-scan handshake: the storage process confirms every page
+	// acknowledgement has been applied before we return, so the set can be
+	// dropped or rewritten immediately afterwards.
+	if err := ack(-1); err != nil {
+		return err
+	}
+	if _, err := c.recv(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PageWriter writes records into a set through PinPage/UnpinPage messages:
+// the storage process pins a fresh page and returns its shared-memory
+// offset; the computation thread fills it in place and unpins it when full
+// (§5). One PageWriter per thread.
+type PageWriter struct {
+	dp   *DataProxy
+	set  string
+	meta PinPageResp
+	buf  []byte
+	off  int
+	open bool
+	n    int64
+}
+
+// NewPageWriter creates a proxy-side writer for a set on the co-located
+// worker.
+func (dp *DataProxy) NewPageWriter(set string) *PageWriter {
+	return &PageWriter{dp: dp, set: set}
+}
+
+// Add appends one record, pinning a new shared-memory page when needed.
+func (pw *PageWriter) Add(rec []byte) error {
+	for {
+		if !pw.open {
+			msg, err := call(pw.dp.workerAddr, PinPageReq{Auth: pw.dp.auth, Set: pw.set})
+			if err != nil {
+				return err
+			}
+			resp, ok := msg.(PinPageResp)
+			if !ok {
+				return fmt.Errorf("cluster: unexpected %T", msg)
+			}
+			if resp.Err != "" {
+				return errors.New(resp.Err)
+			}
+			pw.meta = resp
+			pw.buf = pw.dp.pool.SharedMemory().Slice(resp.Offset, resp.Size)
+			services.InitServicePage(pw.buf, int(resp.Size)-services.PageHeaderSize)
+			pw.off = services.PageHeaderSize
+			pw.open = true
+		}
+		next, ok := services.AppendServiceRecord(pw.buf, pw.off, len(pw.buf), rec)
+		if ok {
+			pw.off = next
+			pw.n++
+			return nil
+		}
+		if err := pw.unpin(); err != nil {
+			return err
+		}
+	}
+}
+
+// Count reports records written.
+func (pw *PageWriter) Count() int64 { return pw.n }
+
+func (pw *PageWriter) unpin() error {
+	if !pw.open {
+		return nil
+	}
+	pw.open = false
+	msg, err := call(pw.dp.workerAddr, UnpinPageReq{Auth: pw.dp.auth, Set: pw.set, PageNum: pw.meta.PageNum, Dirty: true})
+	return respErr(msg, err)
+}
+
+// Close unpins the writer's current page.
+func (pw *PageWriter) Close() error { return pw.unpin() }

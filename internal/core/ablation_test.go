@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pangea/internal/disk"
+)
+
+// The ablations in this file probe the knobs of the data-aware priority
+// model (§6): the time horizon t of p_reuse, the w_r read penalty for
+// random patterns, and the 1-page vs 10% eviction batch rule.
+
+// newAblationPool builds a pool with lightly throttled disks so paging
+// decisions have a measurable cost.
+func newAblationPool(tb testing.TB, mem int64, cfg PoolConfig) *BufferPool {
+	tb.Helper()
+	arr, err := disk.NewArray(tb.TempDir(), 1, disk.Config{
+		ReadMBps: 300, WriteMBps: 250, SeekLatency: 40 * time.Microsecond,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg.Memory = mem
+	cfg.Array = arr
+	bp, err := NewPool(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { _ = arr.RemoveAll() })
+	return bp
+}
+
+// mixedWorkload runs the workload the data-aware policy is built for: a
+// loop-sequential scan set competing with a random-access hash-style set in
+// one pool.
+func mixedWorkload(tb testing.TB, bp *BufferPool) {
+	tb.Helper()
+	const pageSize = 16 << 10
+	seq, err := bp.CreateSet(SetSpec{Name: "seq", PageSize: pageSize})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seq.SetReading(SequentialRead)
+	hash, err := bp.CreateSet(SetSpec{Name: "hash", PageSize: pageSize})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hash.SetWriting(RandomMutableWrite)
+	hash.SetReading(RandomRead)
+
+	const nSeq, nHash = 48, 16
+	for i := 0; i < nSeq; i++ {
+		p, err := seq.NewPage()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := seq.Unpin(p, true); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for i := 0; i < nHash; i++ {
+		p, err := hash.NewPage()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := hash.Unpin(p, true); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// Loop-sequential re-reads of seq interleaved with random probes of
+	// hash — the contention pattern where the set-level priority matters.
+	for loop := 0; loop < 3; loop++ {
+		for i := 0; i < nSeq; i++ {
+			p, err := seq.Pin(int64(i))
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if err := seq.Unpin(p, false); err != nil {
+				tb.Fatal(err)
+			}
+			if i%3 == 0 {
+				h := int64((i * 7) % nHash)
+				p, err := hash.Pin(h)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				if err := hash.Unpin(p, true); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := bp.DropSet(seq); err != nil {
+		tb.Fatal(err)
+	}
+	if err := bp.DropSet(hash); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkAblationHorizon sweeps the horizon t of p_reuse = 1 − e^{−λt}.
+// §6 argues t=1 behaves like the linear λ weighting; large horizons push
+// every probability toward 1 and wash out the recency signal.
+func BenchmarkAblationHorizon(b *testing.B) {
+	for _, h := range []float64{0.25, 1, 4, 64, 4096} {
+		b.Run(fmt.Sprintf("t=%g", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bp := newAblationPool(b, 40*(16<<10), PoolConfig{Horizon: h})
+				mixedWorkload(b, bp)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReadPenalty sweeps the w_r penalty that makes spilled
+// random-access data costlier to re-read than sequential data.
+func BenchmarkAblationReadPenalty(b *testing.B) {
+	for _, pen := range []float64{1, 3, 10} {
+		b.Run(fmt.Sprintf("wr=%g", pen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bp := newAblationPool(b, 40*(16<<10), PoolConfig{
+					Profile: IOProfile{ReadCost: pen, WriteCost: 1},
+				})
+				mixedWorkload(b, bp)
+			}
+		})
+	}
+}
+
+// TestHorizonExtremesStillCorrect: the priority model is a performance
+// heuristic; data must survive any horizon.
+func TestHorizonExtremesStillCorrect(t *testing.T) {
+	for _, h := range []float64{1e-6, 1, 1e9} {
+		bp := newAblationPool(t, 24*(16<<10), PoolConfig{Horizon: h})
+		s, err := bp.CreateSet(SetSpec{Name: "s", PageSize: 16 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 64
+		for i := 0; i < n; i++ {
+			p, err := s.NewPage()
+			if err != nil {
+				t.Fatalf("h=%g: %v", h, err)
+			}
+			p.Bytes()[0] = byte(i)
+			if err := s.Unpin(p, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			p, err := s.Pin(int64(i))
+			if err != nil {
+				t.Fatalf("h=%g pin %d: %v", h, i, err)
+			}
+			if p.Bytes()[0] != byte(i) {
+				t.Fatalf("h=%g: page %d corrupt", h, i)
+			}
+			if err := s.Unpin(p, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bp.DropSet(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEvictionBatchRuleReducesSpillsUnderWrite verifies the asymmetric
+// batch rule of §6: while a set is being written, taking a single victim
+// page avoids evicting fresh output that is about to be read. We compare
+// spilled-page counts for a write-then-immediately-read loop under the
+// normal rule vs a set mislabelled as read-only (which loses 10% at once).
+func TestEvictionBatchRuleReducesSpillsUnderWrite(t *testing.T) {
+	run := func(mislabel bool) int64 {
+		bp := newAblationPool(t, 10*(16<<10), PoolConfig{})
+		s, err := bp.CreateSet(SetSpec{Name: "s", PageSize: 16 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mislabel {
+			s.SetCurrentOp(OpRead)
+		} else {
+			s.SetCurrentOp(OpWrite)
+		}
+		for i := 0; i < 40; i++ {
+			p, err := s.NewPage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Unpin(p, true); err != nil {
+				t.Fatal(err)
+			}
+			// Immediately re-read the page just written.
+			q, err := s.Pin(int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Unpin(q, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return bp.Stats().Loads.Load()
+	}
+	correct, mislabelled := run(false), run(true)
+	if correct > mislabelled {
+		t.Errorf("write-labelled run re-loaded %d pages, read-labelled %d; the 1-page rule should protect fresh output", correct, mislabelled)
+	}
+}
+
+// BenchmarkPinUnpinHit measures the hot path: pinning a resident page.
+func BenchmarkPinUnpinHit(b *testing.B) {
+	bp := newAblationPool(b, 1<<20, PoolConfig{})
+	s, err := bp.CreateSet(SetSpec{Name: "s", PageSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := s.NewPage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Unpin(p, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Pin(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Unpin(p, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewPageWithEviction measures page allocation under constant
+// memory pressure (every allocation evicts).
+func BenchmarkNewPageWithEviction(b *testing.B) {
+	bp := newAblationPool(b, 8*4096, PoolConfig{})
+	s, err := bp.CreateSet(SetSpec{Name: "s", PageSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.NewPage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Unpin(p, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

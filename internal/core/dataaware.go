@@ -1,0 +1,50 @@
+package core
+
+import "math"
+
+// DataAware is the paper's paging policy (§6). It maintains a dynamic
+// priority over locality sets: the victim set is the one whose *next
+// page-to-be-evicted* (chosen by the set's own MRU/LRU strategy) has the
+// lowest expected eviction cost c_w + p_reuse·c_r. Sets whose lifetime has
+// ended are always drained first. The victim set then gives up one page if
+// it is under write, or 10% of its pages if it is read-only.
+type DataAware struct{}
+
+// NewDataAware returns the default Pangea paging policy.
+func NewDataAware() *DataAware { return &DataAware{} }
+
+// Name implements Policy.
+func (*DataAware) Name() string { return "data-aware" }
+
+// SelectVictims implements Policy. The pool lock is held.
+func (*DataAware) SelectVictims(bp *BufferPool) ([]*Page, error) {
+	sets := bp.PolicySets()
+
+	pick := func(wantEnded bool) *LocalitySet {
+		var best *LocalitySet
+		bestCost := math.Inf(1)
+		for _, s := range sets {
+			if s.PolicyAttrs().LifetimeEnded != wantEnded {
+				continue
+			}
+			p := s.PolicyNextVictim()
+			if p == nil {
+				continue
+			}
+			if c := bp.PolicyPageCost(p); c < bestCost {
+				bestCost, best = c, s
+			}
+		}
+		return best
+	}
+
+	// Lifetime-ended sets are always chosen first (their pages can never be
+	// referenced again and dirty ones are dropped without spilling).
+	if s := pick(true); s != nil {
+		return s.PolicyVictimBatch(), nil
+	}
+	if s := pick(false); s != nil {
+		return s.PolicyVictimBatch(), nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReuseProbabilityMonotone(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+	bp.tick.Store(1000)
+	// More recent references must have a higher reuse probability.
+	pRecent := bp.reuseProbability(999)
+	pOld := bp.reuseProbability(1)
+	if pRecent <= pOld {
+		t.Errorf("p(recent)=%v <= p(old)=%v", pRecent, pOld)
+	}
+	if pRecent <= 0 || pRecent >= 1 || pOld <= 0 || pOld >= 1 {
+		t.Errorf("probabilities out of (0,1): %v %v", pRecent, pOld)
+	}
+}
+
+func TestReuseProbabilityProperty(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+	bp.tick.Store(1 << 40)
+	f := func(a, b uint32) bool {
+		// For any two last-ref ticks, the more recent one has >= probability.
+		ta, tb := int64(a), int64(b)
+		pa, pb := bp.reuseProbability(ta), bp.reuseProbability(tb)
+		if ta > tb {
+			return pa >= pb
+		}
+		if tb > ta {
+			return pb >= pa
+		}
+		return pa == pb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLinearApproximation verifies the §6 note: with horizon t=1,
+// p_reuse = 1 − e^{−λ} ≈ λ for small λ.
+func TestLinearApproximation(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+	bp.tick.Store(1 << 20)
+	for _, delta := range []int64{100, 1000, 10000} {
+		lambda := 1.0 / float64(delta)
+		p := bp.reuseProbability(bp.tick.Load() - delta)
+		if math.Abs(p-lambda) > lambda*lambda {
+			t.Errorf("delta=%d: p=%v not within λ² of λ=%v", delta, p, lambda)
+		}
+	}
+}
+
+// TestPageCostOrdering: dirty write-back pages cost more to evict than clean
+// ones, and random-read sets carry the w_r penalty.
+func TestPageCostOrdering(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+	seq, _ := bp.CreateSet(SetSpec{Name: "seq", PageSize: 4096})
+	hash, _ := bp.CreateSet(SetSpec{Name: "hash", PageSize: 4096})
+	hash.SetReading(RandomRead)
+
+	ps, _ := seq.NewPage()
+	ph, _ := hash.NewPage()
+	_ = seq.Unpin(ps, true)  // dirty
+	_ = hash.Unpin(ph, true) // dirty
+	bp.mu.Lock()
+	// Equalise recency so only attributes differ.
+	ps.lastRef = bp.tick.Load()
+	ph.lastRef = bp.tick.Load()
+	costSeq := bp.PolicyPageCost(ps)
+	costHash := bp.PolicyPageCost(ph)
+	// Clean copy of the sequential page.
+	ps.dirty = false
+	costClean := bp.PolicyPageCost(ps)
+	bp.mu.Unlock()
+
+	if costHash <= costSeq {
+		t.Errorf("random-read cost %v should exceed sequential cost %v", costHash, costSeq)
+	}
+	if costClean >= costSeq {
+		t.Errorf("clean cost %v should be below dirty cost %v", costClean, costSeq)
+	}
+}
+
+// TestStrategySelection checks §6's pattern→strategy table.
+func TestStrategySelection(t *testing.T) {
+	cases := []struct {
+		attrs Attributes
+		want  EvictStrategy
+	}{
+		{Attributes{Writing: SequentialWrite}, EvictMRU},
+		{Attributes{Writing: ConcurrentWrite}, EvictMRU},
+		{Attributes{Reading: SequentialRead}, EvictMRU},
+		{Attributes{Writing: RandomMutableWrite}, EvictLRU},
+		{Attributes{Reading: RandomRead}, EvictLRU},
+		{Attributes{}, EvictMRU},
+	}
+	for _, c := range cases {
+		if got := c.attrs.Strategy(); got != c.want {
+			t.Errorf("Strategy(%+v) = %v, want %v", c.attrs, got, c.want)
+		}
+	}
+}
+
+// TestVictimBatchSize: write sets lose one page, read-only sets lose 10%.
+func TestVictimBatchSize(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+	s, _ := bp.CreateSet(SetSpec{Name: "s", PageSize: 1024})
+	for i := 0; i < 40; i++ {
+		p, _ := s.NewPage()
+		_ = s.Unpin(p, false)
+	}
+	s.SetCurrentOp(OpWrite)
+	bp.mu.Lock()
+	if n := len(s.PolicyVictimBatch()); n != 1 {
+		t.Errorf("write batch = %d, want 1", n)
+	}
+	bp.mu.Unlock()
+	s.SetCurrentOp(OpRead)
+	bp.mu.Lock()
+	if n := len(s.PolicyVictimBatch()); n != 4 {
+		t.Errorf("read batch = %d, want 4 (10%% of 40)", n)
+	}
+	bp.mu.Unlock()
+	s.SetCurrentOp(OpReadWrite)
+	bp.mu.Lock()
+	if n := len(s.PolicyVictimBatch()); n != 1 {
+		t.Errorf("read-and-write batch = %d, want 1", n)
+	}
+	bp.mu.Unlock()
+}
+
+// TestMRUvsLRUVictimOrder: an MRU set evicts its most recently used page,
+// an LRU set its least recently used.
+func TestMRUvsLRUVictimOrder(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+	s, _ := bp.CreateSet(SetSpec{Name: "s", PageSize: 1024})
+	for i := 0; i < 3; i++ {
+		p, _ := s.NewPage()
+		_ = s.Unpin(p, false)
+	}
+	// Touch page 1 last: it becomes the MRU page.
+	p1, _ := s.Pin(1)
+	_ = s.Unpin(p1, false)
+
+	s.SetReading(SequentialRead) // -> MRU
+	bp.mu.Lock()
+	if v := s.PolicyNextVictim(); v.Num() != 1 {
+		t.Errorf("MRU victim = %d, want 1", v.Num())
+	}
+	bp.mu.Unlock()
+
+	s.SetReading(RandomRead) // -> LRU
+	bp.mu.Lock()
+	if v := s.PolicyNextVictim(); v.Num() != 0 {
+		t.Errorf("LRU victim = %d, want 0", v.Num())
+	}
+	bp.mu.Unlock()
+}
+
+// TestDataAwarePrefersCheapVictim: between a clean sequential set and a dirty
+// random set with equal recency, the policy drains the cheap one.
+func TestDataAwarePrefersCheapVictim(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+	cheap, _ := bp.CreateSet(SetSpec{Name: "cheap", PageSize: 1024, Durability: WriteThrough})
+	costly, _ := bp.CreateSet(SetSpec{Name: "costly", PageSize: 1024})
+	costly.SetWriting(RandomMutableWrite)
+	for i := 0; i < 4; i++ {
+		p, _ := cheap.NewPage()
+		_ = cheap.Unpin(p, true) // flushed at unpin: clean
+		q, _ := costly.NewPage()
+		_ = costly.Unpin(q, true) // dirty write-back
+	}
+	bp.mu.Lock()
+	// Equalise recency to isolate the attribute-driven cost difference.
+	now := bp.tick.Load()
+	for _, p := range cheap.resident {
+		p.lastRef = now
+	}
+	for _, p := range costly.resident {
+		p.lastRef = now
+	}
+	victims, err := NewDataAware().SelectVictims(bp)
+	bp.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(victims) == 0 {
+		t.Fatal("no victims")
+	}
+	for _, v := range victims {
+		if v.Set().Name() != "cheap" {
+			t.Errorf("victim from %q, want all from cheap clean set", v.Set().Name())
+		}
+	}
+}

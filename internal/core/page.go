@@ -1,0 +1,51 @@
+package core
+
+// PageID identifies a page cluster-wide: the locality set it belongs to and
+// its sequence number within the set on this node.
+type PageID struct {
+	Set SetID
+	Num int64
+}
+
+// Page is one fixed-size buffer-pool page of a locality set. The page's
+// bytes live in the node's shared arena; the struct itself is only the
+// control block (pin count, dirty flag, recency), mirroring the paper's
+// pinned/unpinned and dirty/clean flags plus reference counting (§5).
+//
+// All mutable fields are guarded by the owning pool's mutex.
+type Page struct {
+	set      *LocalitySet
+	num      int64
+	off      int64 // arena offset
+	size     int64
+	pin      int32
+	dirty    bool
+	evicting bool
+	lastRef  int64 // logical tick of last access
+}
+
+// Num returns the page's sequence number within its locality set.
+func (p *Page) Num() int64 { return p.num }
+
+// Set returns the locality set this page belongs to.
+func (p *Page) Set() *LocalitySet { return p.set }
+
+// Size returns the page capacity in bytes.
+func (p *Page) Size() int64 { return p.size }
+
+// Bytes returns the page's memory. The slice aliases the shared arena and is
+// valid only while the caller holds a pin on the page.
+func (p *Page) Bytes() []byte { return p.set.pool.arena.Slice(p.off, p.size) }
+
+// Offset returns the page's offset within the node's shared arena. The data
+// proxy ships this value over the socket so computation threads can map the
+// page without copying (§5, Fig 2).
+func (p *Page) Offset() int64 { return p.off }
+
+// PolicyLastRef returns the page's last-access tick. It must be called only
+// from a Policy with the pool lock held.
+func (p *Page) PolicyLastRef() int64 { return p.lastRef }
+
+// PolicyDirty reports the dirty flag. It must be called only from a Policy
+// with the pool lock held.
+func (p *Page) PolicyDirty() bool { return p.dirty }

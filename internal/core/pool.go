@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pangea/internal/disk"
+	"pangea/internal/memory"
+	"pangea/internal/pfs"
+)
+
+// Policy selects eviction victims when the buffer pool runs out of memory.
+// SelectVictims is invoked with the pool mutex held and must only use the
+// Policy* accessors. Returning an empty slice means nothing is evictable
+// right now; returning an error aborts the allocation (DBMIN's blocking
+// behaviour surfaces this way).
+type Policy interface {
+	Name() string
+	SelectVictims(pool *BufferPool) ([]*Page, error)
+}
+
+// IOProfile carries the profiled per-page I/O costs v_r and v_w used by the
+// priority model (§6). Only their ratio matters for victim ordering.
+type IOProfile struct {
+	ReadCost  float64 // v_r: profiled time to read one page from disk
+	WriteCost float64 // v_w: profiled time to write one page to disk
+}
+
+// PoolConfig configures one node's unified buffer pool.
+type PoolConfig struct {
+	// Memory is the shared arena size in bytes (the paper's anonymous-mmap
+	// region, §5).
+	Memory int64
+	// Array is the node's set of disk drives.
+	Array *disk.Array
+	// Policy picks eviction victims; nil selects the paper's data-aware
+	// policy.
+	Policy Policy
+	// Horizon is the time horizon t (in ticks) of the reuse probability
+	// p_reuse = 1 − e^{−λt}. Defaults to 1, the linear-approximation
+	// regime discussed in §6.
+	Horizon float64
+	// Profile holds v_r/v_w; both default to 1.
+	Profile IOProfile
+	// AllocTimeout bounds how long an allocation waits for pages to become
+	// unpinned before failing. Defaults to 5s.
+	AllocTimeout time.Duration
+}
+
+// PoolStats counts buffer pool activity.
+type PoolStats struct {
+	Evictions   atomic.Int64 // pages evicted
+	Spills      atomic.Int64 // dirty pages written back on eviction
+	Loads       atomic.Int64 // pages read from disk on pin miss
+	FlushWrites atomic.Int64 // write-through flushes at unpin time
+}
+
+// ErrNoEvictable is returned when an allocation cannot be satisfied because
+// every resident page is pinned or the policy refuses to evict.
+var ErrNoEvictable = errors.New("core: buffer pool exhausted and nothing evictable")
+
+// BufferPool is the node-local unified buffer pool (§5): one shared memory
+// region holding user data, job data and execution data for every
+// application on the node, with a TLSF allocator carving variable-sized
+// pages out of it and a single paging policy across all locality sets.
+type BufferPool struct {
+	cfg   PoolConfig
+	arena *memory.Arena
+	alloc *memory.TLSF
+	array *disk.Array
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	sets   map[SetID]*LocalitySet
+	byName map[string]*LocalitySet
+	nextID SetID
+
+	tick atomic.Int64
+	peak atomic.Int64
+
+	stats PoolStats
+}
+
+// NewPool builds a buffer pool over a fresh arena.
+func NewPool(cfg PoolConfig) (*BufferPool, error) {
+	if cfg.Memory <= 0 {
+		return nil, fmt.Errorf("core: invalid pool memory %d", cfg.Memory)
+	}
+	if cfg.Array == nil {
+		return nil, errors.New("core: pool requires a disk array")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewDataAware()
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 1
+	}
+	if cfg.Profile.ReadCost == 0 {
+		cfg.Profile.ReadCost = 1
+	}
+	if cfg.Profile.WriteCost == 0 {
+		cfg.Profile.WriteCost = 1
+	}
+	if cfg.AllocTimeout == 0 {
+		cfg.AllocTimeout = 5 * time.Second
+	}
+	arena := memory.NewArena(cfg.Memory)
+	bp := &BufferPool{
+		cfg:    cfg,
+		arena:  arena,
+		alloc:  memory.NewTLSF(arena),
+		array:  cfg.Array,
+		sets:   make(map[SetID]*LocalitySet),
+		byName: make(map[string]*LocalitySet),
+	}
+	bp.cond = sync.NewCond(&bp.mu)
+	return bp, nil
+}
+
+// SetSpec describes a locality set to create.
+type SetSpec struct {
+	Name       string
+	PageSize   int64
+	Durability DurabilityType // WriteBack unless specified
+	Pinned     bool           // Location attribute
+}
+
+// CreateSet registers a new locality set and its file instance.
+func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
+	if spec.PageSize <= 0 || spec.PageSize > bp.cfg.Memory {
+		return nil, fmt.Errorf("core: page size %d invalid for pool of %d bytes", spec.PageSize, bp.cfg.Memory)
+	}
+	bp.mu.Lock()
+	if _, dup := bp.byName[spec.Name]; dup {
+		bp.mu.Unlock()
+		return nil, fmt.Errorf("core: set %q already exists", spec.Name)
+	}
+	id := bp.nextID
+	bp.nextID++
+	bp.mu.Unlock()
+
+	file, err := pfs.Create(bp.array, fmt.Sprintf("%s.%d", spec.Name, id), spec.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &LocalitySet{
+		pool:     bp,
+		id:       id,
+		name:     spec.Name,
+		pageSize: spec.PageSize,
+		attrs:    Attributes{Durability: spec.Durability, Pinned: spec.Pinned},
+		file:     file,
+		resident: make(map[int64]*Page),
+		loading:  make(map[int64]bool),
+	}
+	bp.mu.Lock()
+	bp.sets[id] = s
+	bp.byName[spec.Name] = s
+	bp.mu.Unlock()
+	return s, nil
+}
+
+// GetSet looks a locality set up by name.
+func (bp *BufferPool) GetSet(name string) (*LocalitySet, bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	s, ok := bp.byName[name]
+	return s, ok
+}
+
+// DropSet releases all of a set's memory and removes its file instance. The
+// caller must have unpinned every page first.
+func (bp *BufferPool) DropSet(s *LocalitySet) error {
+	bp.mu.Lock()
+	if s.dropped {
+		bp.mu.Unlock()
+		return nil
+	}
+	for _, p := range s.resident {
+		if p.pin > 0 {
+			bp.mu.Unlock()
+			return fmt.Errorf("core: drop set %q: page %d still pinned", s.name, p.num)
+		}
+	}
+	s.dropped = true
+	for num, p := range s.resident {
+		bp.alloc.Free(p.off)
+		delete(s.resident, num)
+	}
+	delete(bp.sets, s.id)
+	delete(bp.byName, s.name)
+	bp.cond.Broadcast()
+	bp.mu.Unlock()
+	return s.file.Remove()
+}
+
+// Sets returns a snapshot of the registered locality sets.
+func (bp *BufferPool) Sets() []*LocalitySet {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	out := make([]*LocalitySet, 0, len(bp.sets))
+	for _, s := range bp.sets {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Capacity returns the pool's arena size in bytes.
+func (bp *BufferPool) Capacity() int64 { return bp.cfg.Memory }
+
+// UsedBytes returns the bytes currently allocated from the arena.
+func (bp *BufferPool) UsedBytes() int64 { return bp.alloc.Used() }
+
+// PeakBytes returns the high-water mark of arena usage; the memory-usage
+// comparison of Fig 4 reports this.
+func (bp *BufferPool) PeakBytes() int64 { return bp.peak.Load() }
+
+// Stats exposes the pool's activity counters.
+func (bp *BufferPool) Stats() *PoolStats { return &bp.stats }
+
+// Array returns the node's disk array.
+func (bp *BufferPool) Array() *disk.Array { return bp.array }
+
+// SharedMemory exposes the pool's arena. The data proxy hands arena offsets
+// to computation threads over the socket so they can touch page bytes
+// without copying, the way the paper's computation processes map the
+// storage process's shared memory region (§5, Fig 2).
+func (bp *BufferPool) SharedMemory() *memory.Arena { return bp.arena }
+
+// TickNow returns the current logical tick.
+func (bp *BufferPool) TickNow() int64 { return bp.tick.Load() }
+
+// nextTick advances the logical clock; every page access calls it.
+func (bp *BufferPool) nextTick() int64 { return bp.tick.Add(1) }
+
+// allocMem carves size bytes out of the arena, running eviction rounds
+// until the allocation fits or nothing can be evicted before the deadline.
+func (bp *BufferPool) allocMem(size int64) (int64, error) {
+	deadline := time.Now().Add(bp.cfg.AllocTimeout)
+	for {
+		off, err := bp.alloc.Alloc(size)
+		if err == nil {
+			if u := bp.alloc.Used(); u > bp.peak.Load() {
+				bp.peak.Store(u)
+			}
+			return off, nil
+		}
+		evicted, evictErr := bp.evictOnce()
+		if evictErr != nil {
+			return 0, evictErr
+		}
+		if evicted {
+			continue
+		}
+		if time.Now().After(deadline) {
+			return 0, ErrNoEvictable
+		}
+		// All candidate pages are pinned; wait briefly for an unpin.
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// evictOnce runs one round of the paging system (§6): the policy selects a
+// victim batch, dirty alive pages are spilled to their file instances with
+// the pool unlocked, then the memory is recycled.
+func (bp *BufferPool) evictOnce() (bool, error) {
+	bp.mu.Lock()
+	victims, err := bp.cfg.Policy.SelectVictims(bp)
+	if err != nil {
+		bp.mu.Unlock()
+		return false, fmt.Errorf("core: paging policy %s: %w", bp.cfg.Policy.Name(), err)
+	}
+	if len(victims) == 0 {
+		bp.mu.Unlock()
+		return false, nil
+	}
+	type spill struct {
+		p    *Page
+		file *pfs.PagedFile
+	}
+	var spills []spill
+	for _, p := range victims {
+		p.evicting = true
+		if p.dirty && !p.set.attrs.LifetimeEnded {
+			spills = append(spills, spill{p, p.set.file})
+		}
+	}
+	bp.mu.Unlock()
+
+	var spillErr error
+	for _, sp := range spills {
+		if err := sp.file.WritePage(sp.p.num, sp.p.Bytes()); err != nil {
+			spillErr = err
+			break
+		}
+		bp.stats.Spills.Add(1)
+	}
+
+	bp.mu.Lock()
+	for _, p := range victims {
+		if spillErr != nil {
+			p.evicting = false // abort eviction, keep pages resident
+			continue
+		}
+		p.dirty = false
+		p.evicting = false
+		delete(p.set.resident, p.num)
+		bp.alloc.Free(p.off)
+		bp.stats.Evictions.Add(1)
+	}
+	bp.cond.Broadcast()
+	bp.mu.Unlock()
+	if spillErr != nil {
+		return false, fmt.Errorf("core: spill during eviction: %w", spillErr)
+	}
+	return true, nil
+}
+
+// PolicySets lists all live locality sets. It must be called only from a
+// Policy with the pool lock held.
+func (bp *BufferPool) PolicySets() []*LocalitySet {
+	out := make([]*LocalitySet, 0, len(bp.sets))
+	for _, s := range bp.sets {
+		out = append(out, s)
+	}
+	return out
+}
+
+// PolicyPageCost evaluates the expected cost of evicting page p within the
+// horizon t (§6):
+//
+//	cost = c_w + p_reuse · c_r
+//	c_w  = d · v_w            (d = 1 iff the page must be written back)
+//	c_r  = v_r · w_r          (w_r > 1 for random reading patterns)
+//	p_reuse = 1 − e^{−λt},  λ = 1 / (t_now − t_ref)
+//
+// Policy-only; pool lock held.
+func (bp *BufferPool) PolicyPageCost(p *Page) float64 {
+	attrs := p.set.attrs
+	var cw float64
+	if p.dirty && !attrs.LifetimeEnded {
+		// Only write-back data can be dirty at eviction time; write-through
+		// pages were persisted at unpin (d=0 for write-through).
+		cw = bp.cfg.Profile.WriteCost
+	}
+	cr := bp.cfg.Profile.ReadCost * attrs.ReadPenalty()
+	return cw + bp.reuseProbability(p.lastRef)*cr
+}
+
+// reuseProbability computes p_reuse from the time since last reference.
+func (bp *BufferPool) reuseProbability(lastRef int64) float64 {
+	delta := bp.tick.Load() - lastRef
+	if delta < 1 {
+		delta = 1
+	}
+	lambda := 1.0 / float64(delta)
+	return 1 - math.Exp(-lambda*bp.cfg.Horizon)
+}

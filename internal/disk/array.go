@@ -1,0 +1,68 @@
+package disk
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// Array is the set of drives on one worker node. A Pangea data file instance
+// can be automatically distributed across multiple disk drives (paper §4);
+// the file system assigns pages to drives round-robin, and because each
+// drive has its own time model, an Array of two disks delivers roughly twice
+// the aggregate bandwidth of one.
+type Array struct {
+	disks []*Disk
+}
+
+// NewArray mounts n drives under dir with the given per-drive config.
+func NewArray(dir string, n int, cfg Config) (*Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("disk: array needs at least one disk, got %d", n)
+	}
+	a := &Array{}
+	for i := 0; i < n; i++ {
+		d, err := Open(filepath.Join(dir, fmt.Sprintf("disk%d", i)), cfg)
+		if err != nil {
+			a.RemoveAll()
+			return nil, err
+		}
+		a.disks = append(a.disks, d)
+	}
+	return a, nil
+}
+
+// Len returns the number of drives.
+func (a *Array) Len() int { return len(a.disks) }
+
+// Disk returns drive i.
+func (a *Array) Disk(i int) *Disk { return a.disks[i] }
+
+// Pick maps a page sequence number to a drive (round-robin placement).
+func (a *Array) Pick(seq int64) *Disk { return a.disks[int(seq)%len(a.disks)] }
+
+// PickIndex returns the drive index for a page sequence number.
+func (a *Array) PickIndex(seq int64) int { return int(seq) % len(a.disks) }
+
+// Stats sums the traffic counters over all drives.
+func (a *Array) Stats() Stats {
+	var s Stats
+	for _, d := range a.disks {
+		ds := d.Stats()
+		s.Reads += ds.Reads
+		s.Writes += ds.Writes
+		s.BytesRead += ds.BytesRead
+		s.BytesWritten += ds.BytesWritten
+	}
+	return s
+}
+
+// RemoveAll deletes all drives' directory trees.
+func (a *Array) RemoveAll() error {
+	var first error
+	for _, d := range a.disks {
+		if err := d.RemoveAll(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

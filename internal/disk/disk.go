@@ -1,0 +1,191 @@
+// Package disk provides the secondary-storage substrate for Pangea.
+//
+// The paper evaluates on AWS instance-store SSDs (one or two per node). We
+// do not have those, so Disk models a drive: files created on it share one
+// calibrated throughput/latency timeline — every operation reserves an
+// exclusive slot (seek latency + bytes/bandwidth) and sleeps until its slot
+// ends. Concurrent requests to one drive therefore queue, while requests to
+// different drives in an Array proceed in parallel — reproducing the 1-disk
+// vs 2-disk separation in Figs 7, 8 and Table 3 without hardware.
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes the performance envelope of one simulated drive.
+type Config struct {
+	// ReadMBps and WriteMBps are sequential bandwidths in MiB/s. Zero
+	// disables throttling for that direction.
+	ReadMBps  float64
+	WriteMBps float64
+	// SeekLatency is charged once per operation.
+	SeekLatency time.Duration
+}
+
+// DefaultConfig approximates the paper's instance-store SSD, scaled so that
+// MB-range experiments show the same memory/disk separation the paper's
+// GB-range experiments do.
+func DefaultConfig() Config {
+	return Config{ReadMBps: 200, WriteMBps: 180, SeekLatency: 100 * time.Microsecond}
+}
+
+// Unthrottled returns a config with the time model disabled; used by unit
+// tests that only care about correctness.
+func Unthrottled() Config { return Config{} }
+
+// Stats counts the traffic a drive has served.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Disk is one simulated drive. All Files opened on it share its timeline.
+type Disk struct {
+	cfg Config
+	dir string
+
+	mu        sync.Mutex
+	busyUntil time.Time
+
+	reads, writes, bytesRead, bytesWritten atomic.Int64
+}
+
+// Open mounts a drive rooted at dir, creating the directory if needed.
+func Open(dir string, cfg Config) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	return &Disk{cfg: cfg, dir: dir}, nil
+}
+
+// Dir returns the drive's mount directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Create opens (truncating) a file named name on this drive.
+func (d *Disk) Create(name string) (*File, error) {
+	path := filepath.Join(d.dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	return &File{d: d, f: f, path: path}, nil
+}
+
+// OpenFile opens an existing file on this drive without truncating it,
+// creating it empty if absent (used when re-attaching meta/data files).
+func (d *Disk) OpenFile(name string) (*File, error) {
+	path := filepath.Join(d.dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	return &File{d: d, f: f, path: path}, nil
+}
+
+// throttle reserves a slot of the appropriate duration on the drive
+// timeline and sleeps until the slot completes.
+func (d *Disk) throttle(n int, mbps float64) {
+	if mbps == 0 && d.cfg.SeekLatency == 0 {
+		return
+	}
+	dur := d.cfg.SeekLatency
+	if mbps > 0 {
+		dur += time.Duration(float64(n) / (mbps * 1024 * 1024) * float64(time.Second))
+	}
+	d.mu.Lock()
+	now := time.Now()
+	start := d.busyUntil
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(dur)
+	d.busyUntil = end
+	d.mu.Unlock()
+	if wait := end.Sub(now); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Stats returns a snapshot of traffic counters.
+func (d *Disk) Stats() Stats {
+	return Stats{
+		Reads:        d.reads.Load(),
+		Writes:       d.writes.Load(),
+		BytesRead:    d.bytesRead.Load(),
+		BytesWritten: d.bytesWritten.Load(),
+	}
+}
+
+// RemoveAll deletes the drive's entire directory tree.
+func (d *Disk) RemoveAll() error { return os.RemoveAll(d.dir) }
+
+// File is a file on a simulated drive; reads and writes are charged to the
+// drive's time model. Pangea performs direct I/O to bypass the OS buffer
+// cache (paper §4); the time model plays that role here — every operation
+// pays the device cost.
+type File struct {
+	d    *Disk
+	f    *os.File
+	path string
+}
+
+// ReadAt reads len(p) bytes at offset off.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.d.throttle(len(p), f.d.cfg.ReadMBps)
+	n, err := f.f.ReadAt(p, off)
+	f.d.reads.Add(1)
+	f.d.bytesRead.Add(int64(n))
+	return n, err
+}
+
+// WriteAt writes p at offset off.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.d.throttle(len(p), f.d.cfg.WriteMBps)
+	n, err := f.f.WriteAt(p, off)
+	f.d.writes.Add(1)
+	f.d.bytesWritten.Add(int64(n))
+	return n, err
+}
+
+// Size returns the current file length in bytes.
+func (f *File) Size() (int64, error) {
+	st, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Sync flushes the file to stable storage.
+func (f *File) Sync() error { return f.f.Sync() }
+
+// Truncate resizes the file.
+func (f *File) Truncate(n int64) error { return f.f.Truncate(n) }
+
+// Path returns the file's path on the host filesystem.
+func (f *File) Path() string { return f.path }
+
+// Close closes the file.
+func (f *File) Close() error { return f.f.Close() }
+
+// Remove closes and deletes the file.
+func (f *File) Remove() error {
+	if err := f.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(f.path)
+}

@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpts(t *testing.T) Options {
+	t.Helper()
+	return Options{Quick: true, Dir: t.TempDir()}
+}
+
+// cell parses a numeric cell, failing on FAIL markers.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q not numeric", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func TestRegistryRunsEveryExperiment(t *testing.T) {
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Fn(quickOpts(t))
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			var buf bytes.Buffer
+			tab.Print(&buf)
+			if !strings.Contains(buf.String(), tab.ID) {
+				t.Error("printed table missing its id")
+			}
+		})
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab, err := Fig3(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	// DBMIN-adaptive and DBMIN-1000 must block at sizes beyond memory.
+	for _, sys := range []string{"Pangea w/ DBMIN-adaptive", "Pangea w/ DBMIN-1000"} {
+		row := byName[sys]
+		if row == nil {
+			t.Fatalf("missing row %q", sys)
+		}
+		if !strings.HasPrefix(row[3], "FAIL") {
+			t.Errorf("%s at x3 = %q, want FAIL (DBMIN blocking)", sys, row[3])
+		}
+	}
+	// Ignite must crash at x2 and x3.
+	ig := byName["Spark w/ Ignite"]
+	if !strings.HasPrefix(ig[2], "FAIL") || !strings.HasPrefix(ig[3], "FAIL") {
+		t.Errorf("Ignite row = %v, want FAIL at x2/x3", ig)
+	}
+	// Data-aware must beat Spark w/ HDFS at every scale it completes.
+	da, hd := byName["Pangea w/ Data-aware"], byName["Spark w/ HDFS"]
+	for col := 1; col <= 3; col++ {
+		a, err1 := strconv.ParseFloat(da[col], 64)
+		b, err2 := strconv.ParseFloat(hd[col], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if a >= b {
+			t.Errorf("x%d: data-aware %.1fms not faster than Spark/HDFS %.1fms", col, a, b)
+		}
+	}
+}
+
+func TestFig5ReplicasBeatRepartitionOnJoins(t *testing.T) {
+	tab, err := Fig5(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byQ := map[string][]string{}
+	for _, row := range tab.Rows {
+		byQ[row[0]] = row
+	}
+	// The co-partitioned join queries must speed up; Q17 most of all.
+	for _, q := range []string{"Q04", "Q12", "Q14", "Q17"} {
+		row := byQ[q]
+		a, _ := strconv.ParseFloat(row[1], 64)
+		b, _ := strconv.ParseFloat(row[2], 64)
+		if a >= b {
+			t.Errorf("%s: replicas %.1fms not faster than repartition %.1fms", q, a, b)
+		}
+	}
+}
+
+func TestFig6CollidingRatioDeclines(t *testing.T) {
+	tab, err := Fig6(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = 101
+	for i := range tab.Rows {
+		r := strings.TrimSuffix(tab.Rows[i][3], "%")
+		v, err := strconv.ParseFloat(r, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev {
+			t.Errorf("colliding ratio rose: %v", tab.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestFig7PangeaBeatsOSVMBeyondMemory(t *testing.T) {
+	tab, err := Fig7(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(tab.Rows) - 1
+	pangeaRead := cell(t, tab, last, 2)
+	osvmRead := cell(t, tab, last, 6)
+	if pangeaRead >= osvmRead {
+		t.Errorf("beyond memory: pangea read %.1fms not faster than OS VM %.1fms", pangeaRead, osvmRead)
+	}
+	// Alluxio must fail at the largest size (cannot exceed memory).
+	if tab.Rows[last][7] != "FAIL" {
+		t.Errorf("alluxio at max size = %q, want FAIL", tab.Rows[last][7])
+	}
+}
+
+func TestFig9LRUReadSlowerThanMRUFamily(t *testing.T) {
+	tab, err := Fig9(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: 0 durability, 1 objects, then (write, read) per policy in
+	// order data-aware, DBMIN-tuned, MRU, LRU.
+	last := len(tab.Rows) - 1
+	daRead := cell(t, tab, last, 3)
+	lruRead := cell(t, tab, last, 9)
+	if daRead >= lruRead {
+		t.Errorf("data-aware read %.1fms not faster than LRU %.1fms on loop-sequential", daRead, lruRead)
+	}
+}
+
+func TestTab3SparkNeedsMoreFiles(t *testing.T) {
+	tab, err := Tab3(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(tab.Rows) - 1
+	sparkRead := cell(t, tab, last, 2)
+	pangeaRead := cell(t, tab, last, 4)
+	if pangeaRead >= sparkRead {
+		t.Errorf("pangea shuffle read %.1fms not faster than spark-style %.1fms", pangeaRead, sparkRead)
+	}
+}
+
+func TestTab2CountsRealFiles(t *testing.T) {
+	tab, err := Tab2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := tab.Rows[len(tab.Rows)-1]
+	if total[0] != "Total" {
+		t.Fatalf("last row = %v, want Total", total)
+	}
+	n, err := strconv.Atoi(total[1])
+	if err != nil || n < 500 {
+		t.Errorf("total SLOC = %v, want a four-digit real count", total[1])
+	}
+}
+
+func TestS7RatioDeclines(t *testing.T) {
+	tab, err := S7(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = 101
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev {
+			t.Errorf("ratio rose with more nodes: %v", tab.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}

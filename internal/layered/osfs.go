@@ -1,0 +1,224 @@
+package layered
+
+import (
+	"fmt"
+
+	"pangea/internal/disk"
+)
+
+// OSFS models a file system behind the POSIX read/write interface: every
+// operation copies between the user buffer and a kernel buffer cache of
+// 4 KB pages under global LRU with page stealing. Pangea's direct-I/O
+// shared-memory path avoids both the copy and the double caching (§4, §9.2.1).
+type OSFS struct {
+	d        *disk.Disk
+	capPages int
+
+	files map[string]*osFile
+	// cache is the kernel buffer cache.
+	cache map[fsPageKey][]byte
+	dirty map[fsPageKey]bool
+	lru   []fsPageKey
+
+	hits, misses int64
+}
+
+type fsPageKey struct {
+	file string
+	num  int64
+}
+
+type osFile struct {
+	f    *disk.File
+	size int64
+	// flushed is the on-disk high-water mark: pages wholly beyond it have
+	// never been written back, so a cache miss on them must not issue a
+	// read-modify-write disk read.
+	flushed int64
+}
+
+// NewOSFS mounts a simulated OS file system with a buffer cache of
+// cacheBytes on drive d.
+func NewOSFS(d *disk.Disk, cacheBytes int64) *OSFS {
+	return &OSFS{
+		d:        d,
+		capPages: int(cacheBytes / OSVMPageSize),
+		files:    make(map[string]*osFile),
+		cache:    make(map[fsPageKey][]byte),
+		dirty:    make(map[fsPageKey]bool),
+	}
+}
+
+func (fs *OSFS) file(name string) (*osFile, error) {
+	if f, ok := fs.files[name]; ok {
+		return f, nil
+	}
+	f, err := fs.d.Create("osfs-" + name)
+	if err != nil {
+		return nil, err
+	}
+	of := &osFile{f: f}
+	fs.files[name] = of
+	return of, nil
+}
+
+func (fs *OSFS) bump(k fsPageKey) {
+	if n := len(fs.lru); n > 0 && fs.lru[n-1] == k {
+		return // sequential fast path: already most recent
+	}
+	for i, e := range fs.lru {
+		if e == k {
+			copy(fs.lru[i:], fs.lru[i+1:])
+			fs.lru[len(fs.lru)-1] = k
+			return
+		}
+	}
+	fs.lru = append(fs.lru, k)
+}
+
+// reclaim evicts LRU cache pages down to target, writing dirty ones back.
+func (fs *OSFS) reclaim(target int) error {
+	for len(fs.lru) > target {
+		k := fs.lru[0]
+		fs.lru = fs.lru[1:]
+		if fs.dirty[k] {
+			of := fs.files[k.file]
+			if _, err := of.f.WriteAt(fs.cache[k], k.num*OSVMPageSize); err != nil {
+				return err
+			}
+			if end := (k.num + 1) * OSVMPageSize; end > of.flushed {
+				of.flushed = end
+			}
+			delete(fs.dirty, k)
+		}
+		delete(fs.cache, k)
+	}
+	return nil
+}
+
+// page returns the cached kernel page, loading it on a miss.
+func (fs *OSFS) page(of *osFile, name string, num int64, fill bool) ([]byte, error) {
+	k := fsPageKey{name, num}
+	if buf, ok := fs.cache[k]; ok {
+		fs.hits++
+		fs.bump(k)
+		return buf, nil
+	}
+	fs.misses++
+	buf := make([]byte, OSVMPageSize)
+	if fill && num*OSVMPageSize < of.flushed {
+		if _, err := of.f.ReadAt(buf, num*OSVMPageSize); err != nil {
+			return nil, fmt.Errorf("layered: osfs read: %w", err)
+		}
+	}
+	fs.cache[k] = buf
+	fs.bump(k)
+	if err := fs.reclaim(fs.capPages); err != nil {
+		return nil, err
+	}
+	// Page stealing, as in OSVM.
+	if len(fs.lru) > fs.capPages*9/10 {
+		if err := fs.reclaim(fs.capPages * 3 / 4); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// WriteAt copies data through the buffer cache into the file (user→kernel
+// copy per page; write-back to disk on eviction or Sync).
+func (fs *OSFS) WriteAt(name string, data []byte, off int64) error {
+	of, err := fs.file(name)
+	if err != nil {
+		return err
+	}
+	for len(data) > 0 {
+		num := off / OSVMPageSize
+		po := int(off % OSVMPageSize)
+		buf, err := fs.page(of, name, num, po != 0)
+		if err != nil {
+			return err
+		}
+		n := copy(buf[po:], data) // the kernel copy
+		fs.dirty[fsPageKey{name, num}] = true
+		data = data[n:]
+		off += int64(n)
+		if off > of.size {
+			of.size = off
+		}
+	}
+	return nil
+}
+
+// ReadAt copies data from the buffer cache (kernel→user copy), loading
+// missing pages from disk.
+func (fs *OSFS) ReadAt(name string, out []byte, off int64) error {
+	of, err := fs.file(name)
+	if err != nil {
+		return err
+	}
+	for len(out) > 0 {
+		num := off / OSVMPageSize
+		po := int(off % OSVMPageSize)
+		buf, err := fs.page(of, name, num, true)
+		if err != nil {
+			return err
+		}
+		n := copy(out, buf[po:]) // the kernel copy
+		out = out[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// Sync flushes every dirty page of a file to disk.
+func (fs *OSFS) Sync(name string) error {
+	of, ok := fs.files[name]
+	if !ok {
+		return nil
+	}
+	for k := range fs.dirty {
+		if k.file != name {
+			continue
+		}
+		if _, err := of.f.WriteAt(fs.cache[k], k.num*OSVMPageSize); err != nil {
+			return err
+		}
+		if end := (k.num + 1) * OSVMPageSize; end > of.flushed {
+			of.flushed = end
+		}
+		delete(fs.dirty, k)
+	}
+	return of.f.Sync()
+}
+
+// Size returns a file's logical size.
+func (fs *OSFS) Size(name string) int64 {
+	if of, ok := fs.files[name]; ok {
+		return of.size
+	}
+	return 0
+}
+
+// CacheStats reports buffer cache hits and misses.
+func (fs *OSFS) CacheStats() (hits, misses int64) { return fs.hits, fs.misses }
+
+// Remove deletes a file and drops its cached pages.
+func (fs *OSFS) Remove(name string) error {
+	of, ok := fs.files[name]
+	if !ok {
+		return nil
+	}
+	delete(fs.files, name)
+	keep := fs.lru[:0]
+	for _, k := range fs.lru {
+		if k.file == name {
+			delete(fs.cache, k)
+			delete(fs.dirty, k)
+			continue
+		}
+		keep = append(keep, k)
+	}
+	fs.lru = keep
+	return of.f.Remove()
+}

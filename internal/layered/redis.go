@@ -1,0 +1,190 @@
+package layered
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// RedisServer is a Redis-like in-memory key-value server with a text
+// protocol over TCP. The paper's Table 4 attributes Redis's aggregation
+// latency to exactly this architecture: every upsert is a client/server
+// round trip, while Pangea's hash service runs on local data (§9.2.3).
+type RedisServer struct {
+	ln net.Listener
+
+	mu sync.Mutex
+	m  map[string]int64
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewRedisServer starts a server on addr ("127.0.0.1:0" picks a port).
+func NewRedisServer(addr string) (*RedisServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &RedisServer{ln: ln, m: make(map[string]int64)}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *RedisServer) Addr() string { return s.ln.Addr().String() }
+
+// Len reports the number of keys.
+func (s *RedisServer) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Close stops the server.
+func (s *RedisServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *RedisServer) serve() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(c)
+		}()
+	}
+}
+
+func (s *RedisServer) handle(c net.Conn) {
+	defer c.Close()
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		parts := strings.Fields(strings.TrimSpace(line))
+		if len(parts) == 0 {
+			continue
+		}
+		var reply string
+		switch strings.ToUpper(parts[0]) {
+		case "INCRBY":
+			if len(parts) != 3 {
+				reply = "-ERR wrong number of arguments"
+				break
+			}
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				reply = "-ERR not an integer"
+				break
+			}
+			s.mu.Lock()
+			s.m[parts[1]] += v
+			nv := s.m[parts[1]]
+			s.mu.Unlock()
+			reply = ":" + strconv.FormatInt(nv, 10)
+		case "GET":
+			s.mu.Lock()
+			v, ok := s.m[parts[1]]
+			s.mu.Unlock()
+			if ok {
+				reply = ":" + strconv.FormatInt(v, 10)
+			} else {
+				reply = "$-1"
+			}
+		case "DBSIZE":
+			s.mu.Lock()
+			n := len(s.m)
+			s.mu.Unlock()
+			reply = ":" + strconv.Itoa(n)
+		default:
+			reply = "-ERR unknown command"
+		}
+		if _, err := w.WriteString(reply + "\r\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// RedisClient is a blocking, one-round-trip-per-command client.
+type RedisClient struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// DialRedis connects a client.
+func DialRedis(addr string) (*RedisClient, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RedisClient{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+}
+
+func (c *RedisClient) roundTrip(cmd string) (string, error) {
+	if _, err := c.w.WriteString(cmd + "\r\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "-ERR") {
+		return "", fmt.Errorf("layered: redis: %s", line)
+	}
+	return line, nil
+}
+
+// IncrBy adds v to key and returns the new value.
+func (c *RedisClient) IncrBy(key string, v int64) (int64, error) {
+	line, err := c.roundTrip(fmt.Sprintf("INCRBY %s %d", key, v))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(strings.TrimPrefix(line, ":"), 10, 64)
+}
+
+// Get reads a key; ok is false when absent.
+func (c *RedisClient) Get(key string) (v int64, ok bool, err error) {
+	line, err := c.roundTrip("GET " + key)
+	if err != nil {
+		return 0, false, err
+	}
+	if line == "$-1" {
+		return 0, false, nil
+	}
+	v, err = strconv.ParseInt(strings.TrimPrefix(line, ":"), 10, 64)
+	return v, err == nil, err
+}
+
+// Close closes the connection.
+func (c *RedisClient) Close() error { return c.c.Close() }

@@ -1,0 +1,384 @@
+package layered
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"pangea/internal/disk"
+)
+
+// Storage is the layer below the Spark-like engine: a block-oriented store
+// holding serialized objects. Adapters wrap the HDFS, Alluxio and Ignite
+// baselines so the same engine runs over each — the three Spark
+// configurations of Fig 3.
+type Storage interface {
+	Name() string
+	Create(name string)
+	// Append serializes one object into a block of the dataset.
+	Append(name string, block int, obj []byte) error
+	// NumBlocks reports how many blocks the dataset has.
+	NumBlocks(name string) int
+	// ScanBlock deserializes every object of one block to fn.
+	ScanBlock(name string, block int, fn func(obj []byte) error) error
+	// MemoryUsed reports the layer's own RAM footprint (worker memory,
+	// off-heap region, or OS buffer cache) for the Fig 4 accounting.
+	MemoryUsed() int64
+	Remove(name string) error
+}
+
+func blockFile(name string, block int) string { return fmt.Sprintf("%s#%d", name, block) }
+
+// --- HDFS adapter -------------------------------------------------------------
+
+type hdfsStorage struct {
+	h    *HDFS
+	nblk map[string]int
+}
+
+// NewHDFSStorage adapts the HDFS baseline to the Spark engine.
+func NewHDFSStorage(arr *disk.Array, cacheBytes int64) Storage {
+	return &hdfsStorage{h: NewHDFS(arr, cacheBytes), nblk: make(map[string]int)}
+}
+
+func (s *hdfsStorage) Name() string              { return "HDFS" }
+func (s *hdfsStorage) Create(name string)        { s.nblk[name] = 0 }
+func (s *hdfsStorage) NumBlocks(name string) int { return s.nblk[name] }
+
+func (s *hdfsStorage) Append(name string, block int, obj []byte) error {
+	if block >= s.nblk[name] {
+		s.nblk[name] = block + 1
+		s.h.Create(blockFile(name, block))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(obj)))
+	if err := s.h.Append(blockFile(name, block), hdr[:]); err != nil {
+		return err
+	}
+	return s.h.Append(blockFile(name, block), obj)
+}
+
+func (s *hdfsStorage) ScanBlock(name string, block int, fn func(obj []byte) error) error {
+	var pending []byte
+	return s.h.Scan(blockFile(name, block), func(chunk []byte) error {
+		pending = append(pending, chunk...)
+		for len(pending) >= 4 {
+			n := binary.LittleEndian.Uint32(pending[0:4])
+			if len(pending) < 4+int(n) {
+				break
+			}
+			if err := fn(pending[4 : 4+n]); err != nil {
+				return err
+			}
+			pending = pending[4+n:]
+		}
+		return nil
+	})
+}
+
+func (s *hdfsStorage) MemoryUsed() int64 {
+	// The OS buffer cache under the data nodes.
+	var n int64
+	for _, fs := range s.h.fss {
+		n += int64(len(fs.cache)) * OSVMPageSize
+	}
+	return n
+}
+
+func (s *hdfsStorage) Remove(name string) error {
+	for b := 0; b < s.nblk[name]; b++ {
+		if err := s.h.Remove(blockFile(name, b)); err != nil {
+			return err
+		}
+	}
+	delete(s.nblk, name)
+	return nil
+}
+
+// --- Alluxio adapter -----------------------------------------------------------
+
+type alluxioStorage struct {
+	a    *Alluxio
+	nblk map[string]int
+}
+
+// NewAlluxioStorage adapts the Alluxio baseline to the Spark engine.
+func NewAlluxioStorage(memBytes int64) Storage {
+	return &alluxioStorage{a: NewAlluxio(memBytes), nblk: make(map[string]int)}
+}
+
+func (s *alluxioStorage) Name() string              { return "Alluxio" }
+func (s *alluxioStorage) Create(name string)        { s.nblk[name] = 0 }
+func (s *alluxioStorage) NumBlocks(name string) int { return s.nblk[name] }
+
+func (s *alluxioStorage) Append(name string, block int, obj []byte) error {
+	if block >= s.nblk[name] {
+		s.nblk[name] = block + 1
+		s.a.Create(blockFile(name, block))
+	}
+	return s.a.WriteObject(blockFile(name, block), obj)
+}
+
+func (s *alluxioStorage) ScanBlock(name string, block int, fn func(obj []byte) error) error {
+	return s.a.Scan(blockFile(name, block), fn)
+}
+
+func (s *alluxioStorage) MemoryUsed() int64 { return s.a.Used() }
+
+func (s *alluxioStorage) Remove(name string) error {
+	for b := 0; b < s.nblk[name]; b++ {
+		s.a.Remove(blockFile(name, b))
+	}
+	delete(s.nblk, name)
+	return nil
+}
+
+// --- Ignite adapter --------------------------------------------------------------
+
+type igniteStorage struct {
+	g    *Ignite
+	nblk map[string]int
+}
+
+// NewIgniteStorage adapts the Ignite baseline to the Spark engine.
+func NewIgniteStorage(offHeapBytes int64) Storage {
+	return &igniteStorage{g: NewIgnite(offHeapBytes), nblk: make(map[string]int)}
+}
+
+func (s *igniteStorage) Name() string              { return "Ignite" }
+func (s *igniteStorage) Create(name string)        { s.nblk[name] = 0 }
+func (s *igniteStorage) NumBlocks(name string) int { return s.nblk[name] }
+
+func (s *igniteStorage) Append(name string, block int, obj []byte) error {
+	if block >= s.nblk[name] {
+		s.nblk[name] = block + 1
+		s.g.Create(blockFile(name, block))
+	}
+	return s.g.WriteObject(blockFile(name, block), obj)
+}
+
+func (s *igniteStorage) ScanBlock(name string, block int, fn func(obj []byte) error) error {
+	return s.g.Scan(blockFile(name, block), fn)
+}
+
+func (s *igniteStorage) MemoryUsed() int64 { return s.g.Used() }
+
+func (s *igniteStorage) Remove(name string) error {
+	for b := 0; b < s.nblk[name]; b++ {
+		s.g.Remove(blockFile(name, b))
+	}
+	delete(s.nblk, name)
+	return nil
+}
+
+// --- the Spark-like engine -------------------------------------------------------
+
+// rddCache is the Spark storage pool: deserialized blocks under LRU, with
+// whole-block eviction (evicted blocks are recomputed from the storage
+// layer, as Spark lineage does).
+type rddCache struct {
+	capacity int64
+	used     int64
+	blocks   map[string][][]byte
+	sizes    map[string]int64
+	lru      []string
+}
+
+func newRDDCache(capacity int64) *rddCache {
+	return &rddCache{capacity: capacity, blocks: make(map[string][][]byte), sizes: make(map[string]int64)}
+}
+
+func (c *rddCache) get(id string) ([][]byte, bool) {
+	b, ok := c.blocks[id]
+	if ok {
+		for i, e := range c.lru {
+			if e == id {
+				copy(c.lru[i:], c.lru[i+1:])
+				c.lru[len(c.lru)-1] = id
+				break
+			}
+		}
+	}
+	return b, ok
+}
+
+func (c *rddCache) put(id string, recs [][]byte, size int64) {
+	if size > c.capacity {
+		return // block cannot be cached at all
+	}
+	for c.used+size > c.capacity && len(c.lru) > 0 {
+		victim := c.lru[0]
+		c.lru = c.lru[1:]
+		c.used -= c.sizes[victim]
+		delete(c.blocks, victim)
+		delete(c.sizes, victim)
+	}
+	c.blocks[id] = recs
+	c.sizes[id] = size
+	c.used += size
+	c.lru = append(c.lru, id)
+}
+
+// SparkConfig parameterises the Spark-like k-means run.
+type SparkConfig struct {
+	K, Dim, Iterations int
+	// StoragePool is the RDD cache budget; ExecPool the execution memory.
+	StoragePool, ExecPool int64
+}
+
+// SparkModel reports the run's timings and memory for Figs 3 and 4.
+type SparkModel struct {
+	Centroids   [][]float64
+	InitTime    time.Duration
+	IterTimes   []time.Duration
+	PeakMemory  int64 // Spark pools + storage layer, max over the run
+	CacheMisses int64 // blocks recomputed from the storage layer
+}
+
+// TotalTime sums initialization and iterations.
+func (m *SparkModel) TotalTime() time.Duration {
+	t := m.InitTime
+	for _, it := range m.IterTimes {
+		t += it
+	}
+	return t
+}
+
+// LoadPointsToStorage writes encoded points into the storage layer in
+// blocks of objsPerBlock.
+func LoadPointsToStorage(st Storage, name string, pts [][]byte, objsPerBlock int) error {
+	st.Create(name)
+	for i, p := range pts {
+		if err := st.Append(name, i/objsPerBlock, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SparkKMeans runs the MLlib-style computation over the layered stack: a
+// wave of per-block tasks per stage, deserializing blocks out of the
+// storage layer into the RDD cache, recomputing evicted blocks, and keeping
+// execution state in the separate execution pool. Its failures are the
+// baselines' failures: Alluxio refuses datasets beyond its memory and
+// Ignite crashes — the gaps in Fig 3.
+func SparkKMeans(st Storage, name string, cfg SparkConfig) (*SparkModel, error) {
+	model := &SparkModel{}
+	cache := newRDDCache(cfg.StoragePool)
+	recSize := int64(8 * (cfg.Dim + 1))
+	trackPeak := func(exec int64) {
+		if m := cache.used + exec + st.MemoryUsed(); m > model.PeakMemory {
+			model.PeakMemory = m
+		}
+	}
+
+	// normsBlock deserializes one block from storage and computes the
+	// points-with-norms rows (the lineage recomputation path).
+	normsBlock := func(block int) ([][]byte, int64, error) {
+		var recs [][]byte
+		var size int64
+		err := st.ScanBlock(name, block, func(obj []byte) error {
+			out := make([]byte, recSize)
+			var norm float64
+			for j := 0; j < cfg.Dim; j++ {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(obj[8*j:]))
+				norm += v * v
+			}
+			binary.LittleEndian.PutUint64(out[0:8], math.Float64bits(norm))
+			copy(out[8:], obj) // JVM-side deserialized copy
+			recs = append(recs, out)
+			size += recSize
+			return nil
+		})
+		return recs, size, err
+	}
+
+	// --- Initialization stage: one task per block.
+	start := time.Now()
+	nblocks := st.NumBlocks(name)
+	var centroids [][]float64
+	for b := 0; b < nblocks; b++ {
+		recs, size, err := normsBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		cache.put(fmt.Sprintf("%s-norms-%d", name, b), recs, size)
+		for _, rec := range recs {
+			if len(centroids) < cfg.K {
+				c := make([]float64, cfg.Dim)
+				for j := range c {
+					c[j] = math.Float64frombits(binary.LittleEndian.Uint64(rec[8+8*j:]))
+				}
+				centroids = append(centroids, c)
+			}
+		}
+		trackPeak(0)
+	}
+	if len(centroids) < cfg.K {
+		return nil, fmt.Errorf("layered: only %d points for %d clusters", len(centroids), cfg.K)
+	}
+	model.InitTime = time.Since(start)
+
+	// --- Iterations: wave of per-block tasks, partial sums in the
+	// execution pool, merged at the driver.
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iterStart := time.Now()
+		cNorm := make([]float64, cfg.K)
+		for c, cen := range centroids {
+			for _, v := range cen {
+				cNorm[c] += v * v
+			}
+		}
+		sums := make([][]float64, cfg.K)
+		counts := make([]int64, cfg.K)
+		for c := range sums {
+			sums[c] = make([]float64, cfg.Dim)
+		}
+		execBytes := int64(cfg.K) * recSize
+		for b := 0; b < nblocks; b++ {
+			id := fmt.Sprintf("%s-norms-%d", name, b)
+			recs, ok := cache.get(id)
+			if !ok {
+				var size int64
+				var err error
+				recs, size, err = normsBlock(b) // recompute from the layer below
+				if err != nil {
+					return nil, err
+				}
+				cache.put(id, recs, size)
+				model.CacheMisses++
+			}
+			for _, rec := range recs {
+				norm := math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8]))
+				best, bestDist := 0, math.Inf(1)
+				for c, cen := range centroids {
+					dot := 0.0
+					for j := 0; j < cfg.Dim; j++ {
+						x := math.Float64frombits(binary.LittleEndian.Uint64(rec[8+8*j:]))
+						dot += x * cen[j]
+					}
+					if d := norm - 2*dot + cNorm[c]; d < bestDist {
+						best, bestDist = c, d
+					}
+				}
+				for j := 0; j < cfg.Dim; j++ {
+					sums[best][j] += math.Float64frombits(binary.LittleEndian.Uint64(rec[8+8*j:]))
+				}
+				counts[best]++
+			}
+			trackPeak(execBytes)
+		}
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := 0; j < cfg.Dim; j++ {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		model.IterTimes = append(model.IterTimes, time.Since(iterStart))
+	}
+	model.Centroids = centroids
+	return model, nil
+}

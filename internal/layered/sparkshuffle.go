@@ -1,0 +1,126 @@
+package layered
+
+import (
+	"fmt"
+
+	"pangea/internal/disk"
+)
+
+// SparkShuffle simulates Spark's shuffle file layout (§9.2.2, Table 3):
+// every CPU core keeps a separate spill file per shuffle partition, so the
+// node hosts numCores × numPartitions files. Each written record is first
+// allocated on the heap (malloc) and then appended to the file through a
+// libc-style buffered fwrite. Pangea's shuffle service instead combines all
+// streams of one partition into a single locality set (numPartitions
+// files), allocating objects directly in small pages.
+type SparkShuffle struct {
+	arr        *disk.Array
+	cores      int
+	partitions int
+	files      [][]*spillFile // [core][partition]
+}
+
+type spillFile struct {
+	f   *disk.File
+	buf []byte
+	off int64
+}
+
+const fwriteBuf = 64 << 10
+
+// NewSparkShuffle creates the numCores × numPartitions spill files, spread
+// round-robin over the drives.
+func NewSparkShuffle(arr *disk.Array, cores, partitions int) (*SparkShuffle, error) {
+	s := &SparkShuffle{arr: arr, cores: cores, partitions: partitions}
+	for c := 0; c < cores; c++ {
+		var row []*spillFile
+		for p := 0; p < partitions; p++ {
+			f, err := arr.Pick(int64(c*partitions + p)).Create(fmt.Sprintf("spill-c%d-p%d", c, p))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, &spillFile{f: f})
+		}
+		s.files = append(s.files, row)
+	}
+	return s, nil
+}
+
+// Write appends one record from one core to a partition: a heap allocation
+// plus copy (malloc) followed by a buffered file append (fwrite).
+func (s *SparkShuffle) Write(core, partition int, rec []byte) error {
+	heap := make([]byte, len(rec))
+	copy(heap, rec) // malloc + copy
+	sf := s.files[core][partition]
+	sf.buf = append(sf.buf, heap...) // fwrite buffering copy
+	if len(sf.buf) >= fwriteBuf {
+		return s.flush(sf)
+	}
+	return nil
+}
+
+func (s *SparkShuffle) flush(sf *spillFile) error {
+	if len(sf.buf) == 0 {
+		return nil
+	}
+	if _, err := sf.f.WriteAt(sf.buf, sf.off); err != nil {
+		return err
+	}
+	sf.off += int64(len(sf.buf))
+	sf.buf = sf.buf[:0]
+	return nil
+}
+
+// Flush drains every file's buffer to disk.
+func (s *SparkShuffle) Flush() error {
+	for _, row := range s.files {
+		for _, sf := range row {
+			if err := s.flush(sf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadPartition streams one partition back: the reader must open and read
+// every core's spill file for that partition.
+func (s *SparkShuffle) ReadPartition(partition int, fn func(chunk []byte) error) error {
+	for c := 0; c < s.cores; c++ {
+		sf := s.files[c][partition]
+		remaining := sf.off
+		var off int64
+		buf := make([]byte, fwriteBuf)
+		for remaining > 0 {
+			n := int64(len(buf))
+			if n > remaining {
+				n = remaining
+			}
+			if _, err := sf.f.ReadAt(buf[:n], off); err != nil {
+				return err
+			}
+			if err := fn(buf[:n]); err != nil {
+				return err
+			}
+			off += n
+			remaining -= n
+		}
+	}
+	return nil
+}
+
+// NumFiles reports the spill file count (cores × partitions).
+func (s *SparkShuffle) NumFiles() int { return s.cores * s.partitions }
+
+// Close removes every spill file.
+func (s *SparkShuffle) Close() error {
+	var first error
+	for _, row := range s.files {
+		for _, sf := range row {
+			if err := sf.f.Remove(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,168 @@
+package memory
+
+import "fmt"
+
+// Slab is a memcached-style slab allocator confined to a fixed byte region.
+// Pangea's hash service uses one Slab per buffer-pool page so that a hash
+// partition's table and key-value pairs are all bounded to the memory space
+// hosting that page (paper §8); when Alloc fails the service splits a new
+// partition onto a fresh page or spills.
+//
+// The region is carved into slabs of SlabSize bytes; each slab is dedicated
+// to one size class, and classes grow geometrically from MinChunk by Factor.
+type Slab struct {
+	region      []byte
+	slabSize    int
+	classes     []slabClass
+	slabOfClass []int // class index per slab, -1 if not yet carved
+	nextSlab    int
+	usedBytes   int
+	allocBytes  int // bytes requested by callers (for utilization stats)
+}
+
+type slabClass struct {
+	chunkSize int
+	free      []int // offsets of free chunks
+}
+
+// SlabConfig controls size-class geometry.
+type SlabConfig struct {
+	SlabSize int     // bytes per slab; default 64 KiB
+	MinChunk int     // smallest chunk size; default 64
+	Factor   float64 // geometric growth factor; default 1.25
+}
+
+func (c *SlabConfig) fill() {
+	if c.SlabSize == 0 {
+		c.SlabSize = 64 << 10
+	}
+	if c.MinChunk == 0 {
+		c.MinChunk = 64
+	}
+	if c.Factor == 0 {
+		c.Factor = 1.25
+	}
+}
+
+// NewSlab builds a slab allocator over region.
+func NewSlab(region []byte, cfg SlabConfig) *Slab {
+	cfg.fill()
+	if len(region) < cfg.SlabSize {
+		cfg.SlabSize = len(region)
+	}
+	s := &Slab{region: region, slabSize: cfg.SlabSize}
+	for sz := cfg.MinChunk; sz <= cfg.SlabSize; {
+		s.classes = append(s.classes, slabClass{chunkSize: sz})
+		next := int(float64(sz) * cfg.Factor)
+		if next <= sz {
+			next = sz + 1
+		}
+		sz = (next + 7) &^ 7
+	}
+	if last := s.classes[len(s.classes)-1].chunkSize; last != cfg.SlabSize {
+		s.classes = append(s.classes, slabClass{chunkSize: cfg.SlabSize})
+	}
+	numSlabs := (len(region) + cfg.SlabSize - 1) / cfg.SlabSize
+	s.slabOfClass = make([]int, numSlabs)
+	for i := range s.slabOfClass {
+		s.slabOfClass[i] = -1
+	}
+	return s
+}
+
+// classFor returns the index of the smallest class whose chunks hold n
+// bytes, or -1 if n exceeds the largest chunk.
+func (s *Slab) classFor(n int) int {
+	lo, hi := 0, len(s.classes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.classes[mid].chunkSize < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(s.classes) {
+		return -1
+	}
+	return lo
+}
+
+// Alloc reserves n bytes and returns the chunk offset within the region.
+// ok is false when the region is exhausted for this size — the caller is
+// expected to react by splitting a partition or spilling a page.
+func (s *Slab) Alloc(n int) (off int, ok bool) {
+	ci := s.classFor(n)
+	if ci < 0 {
+		return 0, false
+	}
+	c := &s.classes[ci]
+	if len(c.free) == 0 && !s.carve(ci) {
+		return 0, false
+	}
+	off = c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	s.usedBytes += c.chunkSize
+	s.allocBytes += n
+	return off, true
+}
+
+// carve dedicates the next uncarved slab to class ci and splits it into
+// chunks. Returns false when the region has no uncarved slab left.
+func (s *Slab) carve(ci int) bool {
+	if s.nextSlab >= len(s.slabOfClass) {
+		return false
+	}
+	slab := s.nextSlab
+	s.nextSlab++
+	s.slabOfClass[slab] = ci
+	c := &s.classes[ci]
+	base := slab * s.slabSize
+	end := base + s.slabSize
+	if end > len(s.region) {
+		end = len(s.region)
+	}
+	for off := base; off+c.chunkSize <= end; off += c.chunkSize {
+		c.free = append(c.free, off)
+	}
+	return len(c.free) > 0
+}
+
+// Free returns a chunk to its class's free list. n must be the size passed
+// to Alloc (used only for utilization accounting).
+func (s *Slab) Free(off, n int) {
+	slab := off / s.slabSize
+	ci := s.slabOfClass[slab]
+	if ci < 0 {
+		panic(fmt.Sprintf("memory: free of offset %d in uncarved slab", off))
+	}
+	c := &s.classes[ci]
+	c.free = append(c.free, off)
+	s.usedBytes -= c.chunkSize
+	s.allocBytes -= n
+}
+
+// ChunkSize reports the capacity of the chunk at off.
+func (s *Slab) ChunkSize(off int) int {
+	ci := s.slabOfClass[off/s.slabSize]
+	if ci < 0 {
+		return 0
+	}
+	return s.classes[ci].chunkSize
+}
+
+// Bytes returns the n-byte chunk slice at off.
+func (s *Slab) Bytes(off, n int) []byte { return s.region[off : off+n : off+n] }
+
+// Used reports bytes consumed by live chunks (including internal
+// fragmentation within chunks).
+func (s *Slab) Used() int { return s.usedBytes }
+
+// Utilization reports requested-bytes / chunk-bytes for live allocations,
+// a measure of internal fragmentation. Returns 1 when nothing is live.
+func (s *Slab) Utilization() float64 {
+	if s.usedBytes == 0 {
+		return 1
+	}
+	return float64(s.allocBytes) / float64(s.usedBytes)
+}

@@ -1,0 +1,79 @@
+// Package paging implements the baseline page replacement policies the
+// paper compares Pangea's data-aware policy against (§9.1.1, §9.2): global
+// LRU and MRU, and the DBMIN family (DBMIN-1, DBMIN-1000, DBMIN-adaptive,
+// DBMIN-tuned) from Chou & DeWitt's query locality set model.
+//
+// All policies satisfy core.Policy and plug into the unified buffer pool
+// unchanged, so every experiment can swap the paging strategy while keeping
+// the rest of the system identical — exactly how the paper's ablations are
+// run.
+package paging
+
+import (
+	"sort"
+
+	"pangea/internal/core"
+)
+
+// collectEvictable gathers every evictable page in the pool, skipping sets
+// whose Location attribute pins them. Pool lock held by the caller.
+func collectEvictable(bp *core.BufferPool) []*core.Page {
+	var out []*core.Page
+	for _, s := range bp.PolicySets() {
+		out = append(out, s.PolicyEvictable()...)
+	}
+	return out
+}
+
+// batchSize is the 10% eviction granularity the paper uses for its LRU and
+// MRU baselines: "10% of most recently used pages will be evicted at each
+// eviction for MRU, and at most 10% of least recently used pages for LRU".
+func batchSize(n int) int {
+	b := (n + 9) / 10
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// LRU is a global least-recently-used policy across all locality sets. It
+// ignores data semantics entirely: one recency order for user data, job
+// data and execution data alike. Each round evicts 10% of the evictable
+// pages, oldest first.
+type LRU struct{}
+
+// NewLRU returns the global LRU baseline.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements core.Policy.
+func (*LRU) Name() string { return "LRU" }
+
+// SelectVictims implements core.Policy.
+func (*LRU) SelectVictims(bp *core.BufferPool) ([]*core.Page, error) {
+	cands := collectEvictable(bp)
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].PolicyLastRef() < cands[j].PolicyLastRef() })
+	return cands[:batchSize(len(cands))], nil
+}
+
+// MRU is a global most-recently-used policy across all locality sets. Each
+// round evicts 10% of the evictable pages, newest first.
+type MRU struct{}
+
+// NewMRU returns the global MRU baseline.
+func NewMRU() *MRU { return &MRU{} }
+
+// Name implements core.Policy.
+func (*MRU) Name() string { return "MRU" }
+
+// SelectVictims implements core.Policy.
+func (*MRU) SelectVictims(bp *core.BufferPool) ([]*core.Page, error) {
+	cands := collectEvictable(bp)
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].PolicyLastRef() > cands[j].PolicyLastRef() })
+	return cands[:batchSize(len(cands))], nil
+}

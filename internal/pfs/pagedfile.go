@@ -1,0 +1,299 @@
+// Package pfs implements the Pangea file system (paper §4): a user-level
+// paged file layer that bypasses any OS-cache layering. A distributed file
+// instance is associated with one locality set; on each worker node it is
+// one PagedFile — a data file per disk drive (pages assigned round-robin
+// when the node has multiple drives) plus a meta file that indexes each
+// page's drive and offset. A locality-set page may have an on-disk image
+// here, or not (transient write-back sets spill only under memory
+// pressure), so the file holds an arbitrary subset of the set's pages.
+package pfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pangea/internal/disk"
+)
+
+// PageLoc records where a page image lives: which drive and the byte offset
+// within that drive's data file.
+type PageLoc struct {
+	Drive  int32
+	Offset int64
+}
+
+// ErrNoPage is returned when reading a page that has no on-disk image.
+var ErrNoPage = errors.New("pfs: page has no on-disk image")
+
+const (
+	metaMagic   = 0x50414E47 // "PANG"
+	metaVersion = 1
+)
+
+// PagedFile is one node-local file instance of a locality set.
+type PagedFile struct {
+	name     string
+	pageSize int64
+	array    *disk.Array
+
+	mu    sync.Mutex
+	data  []*disk.File      // one per drive
+	meta  *disk.File        // on drive 0
+	pages map[int64]PageLoc // page number -> location
+	next  []int64           // per-drive append offset
+	seq   int64             // round-robin counter for new pages
+}
+
+// Create makes a new, empty paged file named name with the given page size.
+func Create(array *disk.Array, name string, pageSize int64) (*PagedFile, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("pfs: invalid page size %d", pageSize)
+	}
+	pf := &PagedFile{
+		name:     name,
+		pageSize: pageSize,
+		array:    array,
+		pages:    make(map[int64]PageLoc),
+		next:     make([]int64, array.Len()),
+	}
+	for i := 0; i < array.Len(); i++ {
+		f, err := array.Disk(i).Create(name + ".data")
+		if err != nil {
+			pf.closeAll()
+			return nil, err
+		}
+		pf.data = append(pf.data, f)
+	}
+	meta, err := array.Disk(0).Create(name + ".meta")
+	if err != nil {
+		pf.closeAll()
+		return nil, err
+	}
+	pf.meta = meta
+	return pf, nil
+}
+
+// Open re-attaches an existing paged file, reading the page index from the
+// meta file. Used after restart and by durability tests.
+func Open(array *disk.Array, name string) (*PagedFile, error) {
+	pf := &PagedFile{
+		name:  name,
+		array: array,
+		pages: make(map[int64]PageLoc),
+		next:  make([]int64, array.Len()),
+	}
+	for i := 0; i < array.Len(); i++ {
+		f, err := array.Disk(i).OpenFile(name + ".data")
+		if err != nil {
+			pf.closeAll()
+			return nil, err
+		}
+		pf.data = append(pf.data, f)
+	}
+	meta, err := array.Disk(0).OpenFile(name + ".meta")
+	if err != nil {
+		pf.closeAll()
+		return nil, err
+	}
+	pf.meta = meta
+	if err := pf.loadMeta(); err != nil {
+		pf.closeAll()
+		return nil, err
+	}
+	return pf, nil
+}
+
+// Name returns the file instance's name.
+func (pf *PagedFile) Name() string { return pf.name }
+
+// PageSize returns the fixed page size of the associated locality set.
+func (pf *PagedFile) PageSize() int64 { return pf.pageSize }
+
+// WritePage persists the image of page pageNum. len(data) must not exceed
+// the page size. Re-writing an existing page overwrites it in place; a new
+// page is appended to the next drive in round-robin order.
+func (pf *PagedFile) WritePage(pageNum int64, data []byte) error {
+	if int64(len(data)) > pf.pageSize {
+		return fmt.Errorf("pfs: page %d data %d bytes exceeds page size %d", pageNum, len(data), pf.pageSize)
+	}
+	pf.mu.Lock()
+	loc, ok := pf.pages[pageNum]
+	if !ok {
+		drive := int32(pf.seq % int64(len(pf.data)))
+		pf.seq++
+		loc = PageLoc{Drive: drive, Offset: pf.next[drive]}
+		pf.next[drive] += pf.pageSize
+		pf.pages[pageNum] = loc
+	}
+	f := pf.data[loc.Drive]
+	pf.mu.Unlock()
+	// Pad to full page so every on-disk image has fixed extent.
+	if int64(len(data)) < pf.pageSize {
+		padded := make([]byte, pf.pageSize)
+		copy(padded, data)
+		data = padded
+	}
+	_, err := f.WriteAt(data, loc.Offset)
+	return err
+}
+
+// ReadPage reads the image of page pageNum into buf, which must be at least
+// the page size.
+func (pf *PagedFile) ReadPage(pageNum int64, buf []byte) error {
+	pf.mu.Lock()
+	loc, ok := pf.pages[pageNum]
+	if !ok {
+		pf.mu.Unlock()
+		return fmt.Errorf("%w: page %d of %s", ErrNoPage, pageNum, pf.name)
+	}
+	f := pf.data[loc.Drive]
+	pf.mu.Unlock()
+	if int64(len(buf)) < pf.pageSize {
+		return fmt.Errorf("pfs: buffer %d bytes smaller than page size %d", len(buf), pf.pageSize)
+	}
+	_, err := f.ReadAt(buf[:pf.pageSize], loc.Offset)
+	return err
+}
+
+// HasPage reports whether page pageNum has an on-disk image.
+func (pf *PagedFile) HasPage(pageNum int64) bool {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	_, ok := pf.pages[pageNum]
+	return ok
+}
+
+// NumPages returns the number of pages with on-disk images.
+func (pf *PagedFile) NumPages() int {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return len(pf.pages)
+}
+
+// PageNums returns the sorted page numbers that have on-disk images.
+func (pf *PagedFile) PageNums() []int64 {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	out := make([]int64, 0, len(pf.pages))
+	for n := range pf.pages {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DiskBytes reports the total on-disk footprint of the file instance.
+func (pf *PagedFile) DiskBytes() int64 {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return int64(len(pf.pages)) * pf.pageSize
+}
+
+// FlushMeta persists the page index to the meta file. Pangea's meta file is
+// small — the central manager stores only set-level metadata, and each
+// node's meta file indexes only local pages (paper §4).
+func (pf *PagedFile) FlushMeta() error {
+	pf.mu.Lock()
+	nums := make([]int64, 0, len(pf.pages))
+	for n := range pf.pages {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	buf := make([]byte, 0, 32+len(nums)*20)
+	var tmp [8]byte
+	put64 := func(v int64) {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		buf = append(buf, tmp[:]...)
+	}
+	put64(metaMagic)
+	put64(metaVersion)
+	put64(pf.pageSize)
+	put64(int64(len(nums)))
+	for _, n := range nums {
+		loc := pf.pages[n]
+		put64(n)
+		put64(int64(loc.Drive))
+		put64(loc.Offset)
+	}
+	meta := pf.meta
+	pf.mu.Unlock()
+	if err := meta.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := meta.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	return meta.Sync()
+}
+
+// loadMeta reads the page index back from the meta file.
+func (pf *PagedFile) loadMeta() error {
+	size, err := pf.meta.Size()
+	if err != nil {
+		return err
+	}
+	if size == 0 {
+		return errors.New("pfs: empty meta file")
+	}
+	buf := make([]byte, size)
+	if _, err := pf.meta.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	get64 := func(i int) int64 { return int64(binary.LittleEndian.Uint64(buf[i*8:])) }
+	if get64(0) != metaMagic {
+		return fmt.Errorf("pfs: bad meta magic in %s", pf.name)
+	}
+	if get64(1) != metaVersion {
+		return fmt.Errorf("pfs: unsupported meta version %d", get64(1))
+	}
+	pf.pageSize = get64(2)
+	count := get64(3)
+	for i := int64(0); i < count; i++ {
+		base := int(4 + i*3)
+		num, drive, off := get64(base), get64(base+1), get64(base+2)
+		pf.pages[num] = PageLoc{Drive: int32(drive), Offset: off}
+		if end := off + pf.pageSize; end > pf.next[drive] {
+			pf.next[drive] = end
+		}
+	}
+	pf.seq = count
+	return nil
+}
+
+func (pf *PagedFile) closeAll() {
+	for _, f := range pf.data {
+		if f != nil {
+			f.Close()
+		}
+	}
+	if pf.meta != nil {
+		pf.meta.Close()
+	}
+}
+
+// Close closes all underlying files after flushing the meta index.
+func (pf *PagedFile) Close() error {
+	if err := pf.FlushMeta(); err != nil {
+		return err
+	}
+	pf.closeAll()
+	return nil
+}
+
+// Remove deletes the file instance from all drives. The data is gone; used
+// when a locality set's lifetime ends or a set is dropped.
+func (pf *PagedFile) Remove() error {
+	var first error
+	for _, f := range pf.data {
+		if err := f.Remove(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := pf.meta.Remove(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

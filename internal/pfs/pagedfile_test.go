@@ -1,0 +1,244 @@
+package pfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"pangea/internal/disk"
+)
+
+func newArray(t *testing.T, n int) *disk.Array {
+	t.Helper()
+	a, err := disk.NewArray(t.TempDir(), n, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestWriteReadPage(t *testing.T) {
+	a := newArray(t, 1)
+	pf, err := Create(a, "set1", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Remove()
+	want := bytes.Repeat([]byte{0x5A}, 4096)
+	if err := pf.WritePage(7, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if err := pf.ReadPage(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page round-trip mismatch")
+	}
+}
+
+func TestReadMissingPage(t *testing.T) {
+	a := newArray(t, 1)
+	pf, _ := Create(a, "set1", 4096)
+	defer pf.Remove()
+	err := pf.ReadPage(3, make([]byte, 4096))
+	if err == nil {
+		t.Fatal("expected error for missing page")
+	}
+}
+
+func TestOverwriteInPlace(t *testing.T) {
+	a := newArray(t, 1)
+	pf, _ := Create(a, "set1", 1024)
+	defer pf.Remove()
+	pf.WritePage(0, bytes.Repeat([]byte{1}, 1024))
+	pf.WritePage(0, bytes.Repeat([]byte{2}, 1024))
+	if pf.NumPages() != 1 {
+		t.Fatalf("NumPages = %d after overwrite, want 1", pf.NumPages())
+	}
+	got := make([]byte, 1024)
+	pf.ReadPage(0, got)
+	if got[0] != 2 {
+		t.Fatalf("read %d, want overwritten value 2", got[0])
+	}
+}
+
+func TestShortPagePadded(t *testing.T) {
+	a := newArray(t, 1)
+	pf, _ := Create(a, "set1", 1024)
+	defer pf.Remove()
+	if err := pf.WritePage(0, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1024)
+	if err := pf.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:5]) != "short" {
+		t.Fatalf("prefix = %q", got[:5])
+	}
+}
+
+func TestOversizedPageRejected(t *testing.T) {
+	a := newArray(t, 1)
+	pf, _ := Create(a, "set1", 64)
+	defer pf.Remove()
+	if err := pf.WritePage(0, make([]byte, 65)); err == nil {
+		t.Fatal("expected error for oversized page")
+	}
+}
+
+func TestMultiDiskDistribution(t *testing.T) {
+	a := newArray(t, 2)
+	pf, _ := Create(a, "set1", 512)
+	defer pf.Remove()
+	for i := int64(0); i < 8; i++ {
+		pf.WritePage(i, bytes.Repeat([]byte{byte(i)}, 512))
+	}
+	s0, s1 := a.Disk(0).Stats(), a.Disk(1).Stats()
+	if s0.BytesWritten == 0 || s1.BytesWritten == 0 {
+		t.Fatalf("pages not distributed: disk0=%d disk1=%d bytes", s0.BytesWritten, s1.BytesWritten)
+	}
+	// All pages must still read back correctly.
+	buf := make([]byte, 512)
+	for i := int64(0); i < 8; i++ {
+		if err := pf.ReadPage(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("page %d corrupted across disks", i)
+		}
+	}
+}
+
+func TestMetaPersistence(t *testing.T) {
+	a := newArray(t, 2)
+	pf, _ := Create(a, "set1", 256)
+	for i := int64(0); i < 5; i++ {
+		pf.WritePage(i*10, bytes.Repeat([]byte{byte(i + 1)}, 256))
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(a, "set1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Remove()
+	if re.PageSize() != 256 {
+		t.Fatalf("PageSize = %d after reopen, want 256", re.PageSize())
+	}
+	if re.NumPages() != 5 {
+		t.Fatalf("NumPages = %d after reopen, want 5", re.NumPages())
+	}
+	buf := make([]byte, 256)
+	for i := int64(0); i < 5; i++ {
+		if err := re.ReadPage(i*10, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("page %d wrong after reopen: %d", i*10, buf[0])
+		}
+	}
+	// New pages appended after reopen must not clobber existing ones.
+	if err := re.WritePage(999, bytes.Repeat([]byte{0xEE}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	re.ReadPage(0, buf)
+	if buf[0] != 1 {
+		t.Fatal("append after reopen clobbered existing page")
+	}
+}
+
+func TestPageNumsSorted(t *testing.T) {
+	a := newArray(t, 1)
+	pf, _ := Create(a, "s", 64)
+	defer pf.Remove()
+	for _, n := range []int64{5, 1, 9, 3} {
+		pf.WritePage(n, []byte{byte(n)})
+	}
+	nums := pf.PageNums()
+	want := []int64{1, 3, 5, 9}
+	for i := range want {
+		if nums[i] != want[i] {
+			t.Fatalf("PageNums = %v, want %v", nums, want)
+		}
+	}
+}
+
+func TestDiskBytes(t *testing.T) {
+	a := newArray(t, 1)
+	pf, _ := Create(a, "s", 1024)
+	defer pf.Remove()
+	pf.WritePage(0, []byte{1})
+	pf.WritePage(1, []byte{2})
+	if got := pf.DiskBytes(); got != 2048 {
+		t.Fatalf("DiskBytes = %d, want 2048", got)
+	}
+}
+
+// Property: any sequence of page writes (numbers and payload seeds) reads
+// back the last value written for every page, across 1..3 disks.
+func TestPagedFileProperty(t *testing.T) {
+	prop := func(pageNums []uint8, disks uint8) bool {
+		nd := int(disks%3) + 1
+		a, err := disk.NewArray(t.TempDir(), nd, disk.Unthrottled())
+		if err != nil {
+			return false
+		}
+		defer a.RemoveAll()
+		pf, err := Create(a, "p", 128)
+		if err != nil {
+			return false
+		}
+		defer pf.Remove()
+		last := map[int64]byte{}
+		for i, pn := range pageNums {
+			n := int64(pn % 16)
+			v := byte(i + 1)
+			if err := pf.WritePage(n, bytes.Repeat([]byte{v}, 128)); err != nil {
+				return false
+			}
+			last[n] = v
+		}
+		buf := make([]byte, 128)
+		for n, v := range last {
+			if err := pf.ReadPage(n, buf); err != nil {
+				return false
+			}
+			for _, b := range buf {
+				if b != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyFilesShareArray(t *testing.T) {
+	a := newArray(t, 2)
+	var files []*PagedFile
+	for i := 0; i < 4; i++ {
+		pf, err := Create(a, fmt.Sprintf("set%d", i), 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, pf)
+		pf.WritePage(0, []byte{byte(i + 1)})
+	}
+	buf := make([]byte, 256)
+	for i, pf := range files {
+		if err := pf.ReadPage(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("file %d corrupted by sibling files", i)
+		}
+		pf.Remove()
+	}
+}

@@ -1,0 +1,164 @@
+package placement
+
+import (
+	"fmt"
+
+	"pangea/internal/cluster"
+)
+
+// Member is one set in a replication group: a physical organization of the
+// group's objects. Part is nil for the randomly dispatched source.
+type Member struct {
+	Set  string
+	Part *Partitioner
+}
+
+// Group is a replication group (§7): every member contains exactly the same
+// objects under a different physical organization, so any member can serve
+// a computation and any member can be rebuilt from any other after a node
+// failure. The group also owns a separate locality set holding the
+// colliding objects — objects all of whose copies happen to land on one
+// node — replicated HDFS-style so single-node failures lose nothing.
+type Group struct {
+	Source    string
+	Members   []Member
+	Colliding string // name of the colliding-object set
+	PageSize  int64
+
+	// NumColliding is filled by Build: how many objects collide.
+	NumColliding int64
+	// Total is the object count observed while building.
+	Total int64
+}
+
+// nodesOf computes the nodes holding each copy of a record across all
+// members, returning the bitmask of distinct nodes.
+func (g *Group) nodesOf(rec []byte, k int) (uint64, error) {
+	mask := uint64(1) << uint(RandomNode(rec, k))
+	for _, m := range g.Members[1:] {
+		node, err := m.Part.NodeOf(rec, k)
+		if err != nil {
+			return 0, err
+		}
+		mask |= 1 << uint(node)
+	}
+	return mask, nil
+}
+
+// collides reports whether all copies of a record share one node.
+func collides(mask uint64) bool { return mask&(mask-1) == 0 }
+
+// BuildGroup creates the replicas of a populated source set and assembles
+// the replication group:
+//
+//  1. For each partitioner, a target set is created on every worker and
+//     filled by PartitionSet.
+//  2. Colliding objects are identified at partitioning time and stored in a
+//     separate locality set, placed on a node that does NOT hold their
+//     copies (the HDFS-style extra replica).
+//  3. Every replica is registered in the manager's statistics database so
+//     query schedulers can pick the best organization (§9.1.2).
+//
+// The source set must already exist on every worker and have been loaded
+// with DispatchRandom (recovery relies on re-deriving the random node of
+// each record from its content).
+func BuildGroup(cl *cluster.Client, addrs []string, source string, parts []*Partitioner, pageSize int64) (*Group, error) {
+	g := &Group{
+		Source:    source,
+		Colliding: source + ":colliding",
+		PageSize:  pageSize,
+		Members:   []Member{{Set: source}},
+	}
+	for _, p := range parts {
+		target := fmt.Sprintf("%s_pt_%s", source, sanitize(p.Scheme))
+		g.Members = append(g.Members, Member{Set: target, Part: p})
+	}
+
+	// Build each replica.
+	for _, m := range g.Members[1:] {
+		if err := cl.CreateSet(m.Set, pageSize, 0); err != nil {
+			return nil, err
+		}
+		if _, err := PartitionSet(cl, addrs, source, m.Set, m.Part); err != nil {
+			return nil, err
+		}
+		if err := cl.RegisterReplica(source, m.Set, m.Part.Scheme); err != nil {
+			return nil, err
+		}
+	}
+
+	// Identify and store colliding objects (one pass over the source).
+	if err := cl.CreateSet(g.Colliding, pageSize, 0); err != nil {
+		return nil, err
+	}
+	k := len(addrs)
+	b := newBatcher(cl, addrs, g.Colliding, 256)
+	for _, addr := range addrs {
+		err := cl.FetchSet(addr, source, func(rec []byte) error {
+			g.Total++
+			mask, err := g.nodesOf(rec, k)
+			if err != nil {
+				return err
+			}
+			if !collides(mask) {
+				return nil
+			}
+			g.NumColliding++
+			// Place the extra copy off the colliding node.
+			node := (RandomNode(rec, k) + 1) % k
+			return b.add(node, rec)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("placement: collision pass: %w", err)
+		}
+	}
+	if err := b.flush(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// CollidingRatio returns the fraction of objects whose copies all share a
+// node. For random organizations on k nodes with r+1 copies the expectation
+// is roughly k^{-r} (§7 reports ~1/k for two partitionings).
+func (g *Group) CollidingRatio() float64 {
+	if g.Total == 0 {
+		return 0
+	}
+	return float64(g.NumColliding) / float64(g.Total)
+}
+
+// CountColliding evaluates collision counts without moving any data — used
+// for the §7 colliding-object study across cluster sizes.
+func CountColliding(records [][]byte, parts []*Partitioner, k int) int64 {
+	g := &Group{Members: make([]Member, 1, 1+len(parts))}
+	for _, p := range parts {
+		g.Members = append(g.Members, Member{Part: p})
+	}
+	var n int64
+	for _, rec := range records {
+		mask, err := g.nodesOf(rec, k)
+		if err != nil {
+			continue
+		}
+		if collides(mask) {
+			n++
+		}
+	}
+	return n
+}
+
+// sanitize turns a scheme like "hash(l_orderkey)" into a set-name suffix.
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

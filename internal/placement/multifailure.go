@@ -1,0 +1,259 @@
+package placement
+
+import (
+	"fmt"
+
+	"pangea/internal/cluster"
+)
+
+// This file implements the §7 extension: tolerating r concurrent node
+// failures. The group separately replicates any object whose copies span
+// fewer than r+1 distinct nodes, adding enough extra copies (placed
+// deterministically on nodes that do not already hold the object) that
+// every object reaches r+1 distinct nodes. The paper notes the expected
+// extra-space ratio 1 − k·(k−1)·…·(k−r)/k^{r+1} and accepts it because
+// analytics clusters are small.
+
+// SafeGroup is a replication group hardened against r concurrent failures.
+type SafeGroup struct {
+	*Group
+	// R is the tolerated concurrent failure count.
+	R int
+	// ExtraCopies counts the additional object copies stored in the
+	// safety set.
+	ExtraCopies int64
+}
+
+// distinctNodes returns the sorted distinct nodes of a mask.
+func distinctNodes(mask uint64, k int) []int {
+	var out []int
+	for i := 0; i < k; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// extraPlacement deterministically picks the nodes for the extra copies of
+// a record whose member copies occupy mask: the lowest-numbered nodes not
+// in the mask, enough to reach r+1 distinct nodes in total.
+func extraPlacement(mask uint64, k, r int) []int {
+	have := len(distinctNodes(mask, k))
+	need := r + 1 - have
+	if need <= 0 {
+		return nil
+	}
+	var out []int
+	for i := 0; i < k && len(out) < need; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BuildSafeGroup builds the replicas like BuildGroup and then replicates
+// every under-spread object (copies on fewer than r+1 nodes) into the
+// group's safety set so that any r concurrent node failures leave at least
+// one copy of every object.
+func BuildSafeGroup(cl *cluster.Client, addrs []string, source string, parts []*Partitioner, pageSize int64, r int) (*SafeGroup, error) {
+	k := len(addrs)
+	if r < 1 || r >= k {
+		return nil, fmt.Errorf("placement: r=%d invalid for a %d-node cluster", r, k)
+	}
+	g := &Group{
+		Source:    source,
+		Colliding: fmt.Sprintf("%s:safety-r%d", source, r),
+		PageSize:  pageSize,
+		Members:   []Member{{Set: source}},
+	}
+	for _, p := range parts {
+		target := fmt.Sprintf("%s_pt_%s", source, sanitize(p.Scheme))
+		g.Members = append(g.Members, Member{Set: target, Part: p})
+	}
+	for _, m := range g.Members[1:] {
+		if err := cl.CreateSet(m.Set, pageSize, 0); err != nil {
+			return nil, err
+		}
+		if _, err := PartitionSet(cl, addrs, source, m.Set, m.Part); err != nil {
+			return nil, err
+		}
+		if err := cl.RegisterReplica(source, m.Set, m.Part.Scheme); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := cl.CreateSet(g.Colliding, pageSize, 0); err != nil {
+		return nil, err
+	}
+	sg := &SafeGroup{Group: g, R: r}
+	b := newBatcher(cl, addrs, g.Colliding, 256)
+	for _, addr := range addrs {
+		err := cl.FetchSet(addr, source, func(rec []byte) error {
+			g.Total++
+			mask, err := g.nodesOf(rec, k)
+			if err != nil {
+				return err
+			}
+			extra := extraPlacement(mask, k, r)
+			if len(extra) == 0 {
+				return nil
+			}
+			g.NumColliding++
+			for _, node := range extra {
+				sg.ExtraCopies++
+				if err := b.add(node, rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("placement: safety pass: %w", err)
+		}
+	}
+	if err := b.flush(); err != nil {
+		return nil, err
+	}
+	return sg, nil
+}
+
+// RecoverMulti rebuilds every member after up to R concurrent node
+// failures. The per-record dispatch rule generalises single-node recovery:
+// the lowest-indexed member whose copy survived dispatches the record; when
+// no member copy survived, the first surviving node of the record's
+// deterministic safety placement dispatches it.
+func (sg *SafeGroup) RecoverMulti(cl *cluster.Client, addrs []string, failed []int) ([]RecoveryReport, error) {
+	k := len(addrs)
+	if len(failed) > sg.R {
+		return nil, fmt.Errorf("placement: %d failures exceed the tolerated r=%d", len(failed), sg.R)
+	}
+	isFailed := make([]bool, k)
+	for _, f := range failed {
+		isFailed[f] = true
+	}
+	surviving := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		if !isFailed[i] {
+			surviving = append(surviving, i)
+		}
+	}
+	if len(surviving) == 0 {
+		return nil, fmt.Errorf("placement: no surviving nodes")
+	}
+	// reassign maps a lost placement index to a surviving node.
+	reassign := func(idx int) int { return surviving[idx%len(surviving)] }
+
+	g := sg.Group
+	reports := make([]RecoveryReport, 0, len(g.Members))
+	for ti, target := range g.Members {
+		rep := RecoveryReport{Member: target.Set}
+
+		lostNode := func(rec []byte) (bool, int, error) {
+			if target.Part == nil {
+				if !isFailed[RandomNode(rec, k)] {
+					return false, 0, nil
+				}
+				return true, reassign(int(fnv1a(rec) % uint64(k))), nil
+			}
+			p, err := target.Part.PartitionOf(rec)
+			if err != nil {
+				return false, 0, err
+			}
+			if !isFailed[NodeOfPartition(p, k)] {
+				return false, 0, nil
+			}
+			return true, reassign(p), nil
+		}
+
+		// responsibleMember: is member si the lowest-indexed non-target
+		// member with a surviving copy?
+		responsibleMember := func(si int, rec []byte) (bool, error) {
+			for mi, m := range g.Members {
+				if mi == ti {
+					continue
+				}
+				node, err := memberNode(m, rec, k)
+				if err != nil {
+					return false, err
+				}
+				if !isFailed[node] {
+					return mi == si, nil
+				}
+			}
+			return false, nil
+		}
+
+		b := newBatcher(cl, addrs, target.Set, 256)
+		dispatch := func(rec []byte) (bool, error) {
+			lost, node, err := lostNode(rec)
+			if err != nil || !lost {
+				return false, err
+			}
+			return true, b.add(node, rec)
+		}
+
+		// Pass 1: surviving member copies.
+		for si, source := range g.Members {
+			if si == ti {
+				continue
+			}
+			for _, i := range surviving {
+				err := cl.FetchSet(addrs[i], source.Set, func(rec []byte) error {
+					ok, err := responsibleMember(si, rec)
+					if err != nil || !ok {
+						return err
+					}
+					hit, err := dispatch(rec)
+					if hit {
+						rep.FromSource++
+					}
+					return err
+				})
+				if err != nil {
+					return reports, fmt.Errorf("placement: recover %s from %s: %w", target.Set, source.Set, err)
+				}
+			}
+		}
+
+		// Pass 2: safety copies. A node dispatches a safety copy only when
+		// no member copy survived AND it is the first surviving node of the
+		// record's deterministic extra placement.
+		for _, i := range surviving {
+			err := cl.FetchSet(addrs[i], g.Colliding, func(rec []byte) error {
+				mask, err := g.nodesOf(rec, k)
+				if err != nil {
+					return err
+				}
+				for _, node := range distinctNodes(mask, k) {
+					if !isFailed[node] {
+						return nil // a member copy survived; pass 1 covered it
+					}
+				}
+				for _, node := range extraPlacement(mask, k, sg.R) {
+					if isFailed[node] {
+						continue
+					}
+					if node != i {
+						return nil // a lower surviving safety copy dispatches
+					}
+					break
+				}
+				hit, err := dispatch(rec)
+				if hit {
+					rep.FromColliding++
+				}
+				return err
+			})
+			if err != nil {
+				return reports, fmt.Errorf("placement: recover %s safety copies: %w", target.Set, err)
+			}
+		}
+		if err := b.flush(); err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

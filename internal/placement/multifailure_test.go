@@ -1,0 +1,145 @@
+package placement
+
+import (
+	"testing"
+)
+
+func TestExtraPlacementReachesRPlusOneNodes(t *testing.T) {
+	const k = 6
+	for r := 1; r < 4; r++ {
+		for mask := uint64(1); mask < 1<<k; mask++ {
+			extra := extraPlacement(mask, k, r)
+			have := len(distinctNodes(mask, k))
+			want := r + 1 - have
+			if want < 0 {
+				want = 0
+			}
+			if have+want > k {
+				continue // cannot spread wider than the cluster
+			}
+			if len(extra) != want {
+				t.Fatalf("mask %b r=%d: extra=%v want %d nodes", mask, r, extra, want)
+			}
+			for _, e := range extra {
+				if mask&(1<<uint(e)) != 0 {
+					t.Fatalf("mask %b: extra copy on an occupied node %d", mask, e)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildSafeGroupValidation(t *testing.T) {
+	_, addrs, cl := startCluster(t, 3)
+	if _, err := BuildSafeGroup(cl, addrs, "x", nil, 64<<10, 0); err == nil {
+		t.Error("r=0 must be rejected")
+	}
+	if _, err := BuildSafeGroup(cl, addrs, "x", nil, 64<<10, 3); err == nil {
+		t.Error("r=k must be rejected")
+	}
+}
+
+// TestRecoverTwoNodeFailure: an r=2 safe group survives two concurrent
+// node failures with every member restored to the exact multiset.
+func TestRecoverTwoNodeFailure(t *testing.T) {
+	workers, addrs, cl := startCluster(t, 5)
+	if err := cl.CreateSet("li", 64<<10, 0); err != nil {
+		t.Fatal(err)
+	}
+	recs := mkRecords(1500)
+	if err := DispatchRandom(cl, addrs, "li", recs); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := BuildSafeGroup(cl, addrs, "li", twoPartitioners(20), 64<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.ExtraCopies == 0 {
+		t.Fatal("expected some under-spread objects needing extra copies")
+	}
+
+	failed := []int{1, 3}
+	for _, f := range failed {
+		if err := workers[f].Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sg.RecoverMulti(cl, addrs, failed); err != nil {
+		t.Fatal(err)
+	}
+
+	var survivors []string
+	for i, a := range addrs {
+		if i != 1 && i != 3 {
+			survivors = append(survivors, a)
+		}
+	}
+	for _, m := range sg.Members {
+		counts := make(map[string]int, len(recs))
+		for _, rec := range recs {
+			counts[string(rec)]++
+		}
+		for _, addr := range survivors {
+			if err := cl.FetchSet(addr, m.Set, func(rec []byte) error {
+				counts[string(rec)]--
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for key, c := range counts {
+			if c != 0 {
+				t.Fatalf("member %s: record %x count off by %d after 2-node recovery", m.Set, key[:8], c)
+			}
+		}
+	}
+}
+
+// TestRecoverMultiRejectsTooManyFailures: exceeding r is an error, not
+// silent data loss.
+func TestRecoverMultiRejectsTooManyFailures(t *testing.T) {
+	_, addrs, cl := startCluster(t, 4)
+	if err := cl.CreateSet("s", 64<<10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := DispatchRandom(cl, addrs, "s", mkRecords(100)); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := BuildSafeGroup(cl, addrs, "s", twoPartitioners(8), 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sg.RecoverMulti(cl, addrs, []int{0, 1}); err == nil {
+		t.Error("recovering 2 failures with r=1 must be rejected")
+	}
+}
+
+// TestSafeGroupSingleFailureMatchesPlainRecovery: with r=1 the safe group
+// restores a single failure just like the plain path.
+func TestSafeGroupSingleFailureMatchesPlainRecovery(t *testing.T) {
+	workers, addrs, cl := startCluster(t, 3)
+	if err := cl.CreateSet("s", 64<<10, 0); err != nil {
+		t.Fatal(err)
+	}
+	recs := mkRecords(600)
+	if err := DispatchRandom(cl, addrs, "s", recs); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := BuildSafeGroup(cl, addrs, "s", twoPartitioners(9), 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = workers[2].Close()
+	if _, err := sg.RecoverMulti(cl, addrs, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sg.Members {
+		n, err := CountSet(cl, addrs[:2], m.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 600 {
+			t.Errorf("member %s: %d records, want 600", m.Set, n)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package placement implements Pangea's distributed data placement system
+// (paper §7): partition computations that turn one locality set into a
+// differently-organized replica, replication groups in which heterogeneous
+// replicas do double duty for computational efficiency and failure
+// recovery, colliding-object detection, and single-node failure recovery
+// that re-runs a replica's partitioner over a surviving replica.
+package placement
+
+import (
+	"fmt"
+
+	"pangea/internal/cluster"
+)
+
+// KeyFunc extracts the partitioning key from a record — the paper's
+// PartitionComp UDF (getKeyUdf).
+type KeyFunc func(rec []byte) ([]byte, error)
+
+// Partitioner is one physical organization: a named partition computation
+// mapping records to partitions, and partitions to worker nodes.
+type Partitioner struct {
+	// Scheme names the organization in the statistics database, e.g.
+	// "hash(l_orderkey)".
+	Scheme string
+	// NumPartitions is the partition count; it should be >= the node count.
+	NumPartitions int
+	// Key extracts the partition key.
+	Key KeyFunc
+}
+
+// fnv1a hashes a byte string (FNV-1a 64).
+func fnv1a(b []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// PartitionOf maps a record to its partition index.
+func (p *Partitioner) PartitionOf(rec []byte) (int, error) {
+	key, err := p.Key(rec)
+	if err != nil {
+		return 0, err
+	}
+	return int(fnv1a(key) % uint64(p.NumPartitions)), nil
+}
+
+// NodeOfPartition places partition idx on a node in a k-node cluster.
+func NodeOfPartition(idx, k int) int { return idx % k }
+
+// NodeOf maps a record directly to the node holding its partition.
+func (p *Partitioner) NodeOf(rec []byte, k int) (int, error) {
+	idx, err := p.PartitionOf(rec)
+	if err != nil {
+		return 0, err
+	}
+	return NodeOfPartition(idx, k), nil
+}
+
+// RandomNode is the placement of a randomly dispatched source set: a
+// content hash spreads records uniformly over the k nodes, deterministically
+// so that tests and recovery can re-derive it.
+func RandomNode(rec []byte, k int) int {
+	// Salted so random dispatch decorrelates from hash partitioners that
+	// hash the whole record.
+	return int((fnv1a(rec) ^ 0x9e3779b97f4a7c15) % uint64(k))
+}
+
+// batcher accumulates per-node record batches and flushes them to workers.
+type batcher struct {
+	cl    *cluster.Client
+	addrs []string
+	set   string
+	size  int
+	buf   [][][]byte
+}
+
+func newBatcher(cl *cluster.Client, addrs []string, set string, size int) *batcher {
+	return &batcher{cl: cl, addrs: addrs, set: set, size: size, buf: make([][][]byte, len(addrs))}
+}
+
+func (b *batcher) add(node int, rec []byte) error {
+	b.buf[node] = append(b.buf[node], append([]byte(nil), rec...))
+	if len(b.buf[node]) >= b.size {
+		return b.flushNode(node)
+	}
+	return nil
+}
+
+func (b *batcher) flushNode(node int) error {
+	if len(b.buf[node]) == 0 {
+		return nil
+	}
+	err := b.cl.AddRecords(b.addrs[node], b.set, b.buf[node])
+	b.buf[node] = b.buf[node][:0]
+	if err != nil {
+		return fmt.Errorf("placement: dispatch to node %d: %w", node, err)
+	}
+	return nil
+}
+
+func (b *batcher) flush() error {
+	for node := range b.buf {
+		if err := b.flushNode(node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DispatchRandom loads records into a source set spread over the cluster by
+// content hash — the "randomly dispatched set" of §9.1.2. The set must
+// already exist on every worker.
+func DispatchRandom(cl *cluster.Client, addrs []string, set string, records [][]byte) error {
+	b := newBatcher(cl, addrs, set, 256)
+	for _, rec := range records {
+		if err := b.add(RandomNode(rec, len(addrs)), rec); err != nil {
+			return err
+		}
+	}
+	return b.flush()
+}
+
+// PartitionSet runs a partition computation (§7): it scans the source set
+// on every worker, extracts each record's key with the partitioner, and
+// dispatches the record to the node owning its partition in the target set.
+// The target set must already exist on every worker. It returns the number
+// of records moved.
+func PartitionSet(cl *cluster.Client, addrs []string, source, target string, part *Partitioner) (int64, error) {
+	b := newBatcher(cl, addrs, target, 256)
+	var n int64
+	for _, addr := range addrs {
+		err := cl.FetchSet(addr, source, func(rec []byte) error {
+			node, err := part.NodeOf(rec, len(addrs))
+			if err != nil {
+				return err
+			}
+			n++
+			return b.add(node, rec)
+		})
+		if err != nil {
+			return n, fmt.Errorf("placement: partition %s -> %s: %w", source, target, err)
+		}
+	}
+	return n, b.flush()
+}

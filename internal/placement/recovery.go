@@ -1,0 +1,176 @@
+package placement
+
+import (
+	"fmt"
+
+	"pangea/internal/cluster"
+)
+
+// RecoveryReport summarises one replica's recovery.
+type RecoveryReport struct {
+	Member        string
+	FromSource    int64 // records recovered by re-partitioning surviving replicas
+	FromColliding int64 // records recovered from the colliding-object set
+}
+
+// Recovered returns the total records restored for this member.
+func (r RecoveryReport) Recovered() int64 { return r.FromSource + r.FromColliding }
+
+// reassignNode maps a lost partition (or lost random placement) to a
+// surviving node, round-robin over the survivors.
+func reassignNode(idx, failed, k int) int {
+	node := idx % (k - 1)
+	if node >= failed {
+		node++
+	}
+	return node
+}
+
+// memberNode computes where member m stores a record in a k-node cluster.
+func memberNode(m Member, rec []byte, k int) (int, error) {
+	if m.Part == nil {
+		return RandomNode(rec, k), nil
+	}
+	p, err := m.Part.PartitionOf(rec)
+	if err != nil {
+		return 0, err
+	}
+	return NodeOfPartition(p, k), nil
+}
+
+// Recover rebuilds every member of a replication group after the failure of
+// node failedIdx (paper §7). For each target member, the lost key range is
+// the set of partitions placed on the failed node. Source replicas are the
+// other members of the group: the target's partitioner is re-run over their
+// surviving records, and records falling in the lost range are dispatched
+// to the surviving nodes now owning them. Because every member stores the
+// same objects, a record is dispatched only by the lowest-indexed member
+// whose copy survived, which both avoids duplicates and covers records lost
+// in several members at once. Colliding objects — whose every copy lived on
+// the failed node — are restored from the group's dedicated
+// colliding-object set. addrs lists all original workers; addrs[failedIdx]
+// must be considered lost.
+func Recover(cl *cluster.Client, addrs []string, g *Group, failedIdx int) ([]RecoveryReport, error) {
+	k := len(addrs)
+	if k < 2 {
+		return nil, fmt.Errorf("placement: cannot recover a %d-node cluster", k)
+	}
+	surviving := make([]int, 0, k-1)
+	for i := range addrs {
+		if i != failedIdx {
+			surviving = append(surviving, i)
+		}
+	}
+
+	reports := make([]RecoveryReport, 0, len(g.Members))
+	for ti, target := range g.Members {
+		rep := RecoveryReport{Member: target.Set}
+
+		// lostNode reports whether the record's copy in the target lived on
+		// the failed node, and which surviving node now owns it.
+		lostNode := func(rec []byte) (bool, int, error) {
+			if target.Part == nil {
+				if RandomNode(rec, k) != failedIdx {
+					return false, 0, nil
+				}
+				return true, reassignNode(int(fnv1a(rec)%uint64(k)), failedIdx, k), nil
+			}
+			p, err := target.Part.PartitionOf(rec)
+			if err != nil {
+				return false, 0, err
+			}
+			if NodeOfPartition(p, k) != failedIdx {
+				return false, 0, nil
+			}
+			return true, reassignNode(p, failedIdx, k), nil
+		}
+
+		// responsible reports whether member si is the lowest-indexed
+		// non-target member whose copy of rec survived the failure. Only
+		// that member dispatches the record, preventing duplicates.
+		responsible := func(si int, rec []byte) (bool, error) {
+			for mi, m := range g.Members {
+				if mi == ti {
+					continue
+				}
+				node, err := memberNode(m, rec, k)
+				if err != nil {
+					return false, err
+				}
+				if node != failedIdx {
+					return mi == si, nil
+				}
+			}
+			return false, nil // colliding: no surviving copy in any member
+		}
+
+		b := newBatcher(cl, addrs, target.Set, 256)
+		dispatch := func(rec []byte) (bool, error) {
+			lost, node, err := lostNode(rec)
+			if err != nil || !lost {
+				return false, err
+			}
+			return true, b.add(node, rec)
+		}
+
+		// Pass 1: re-run the target's partitioner over the surviving
+		// records of the other members.
+		for si, source := range g.Members {
+			if si == ti {
+				continue
+			}
+			for _, i := range surviving {
+				err := cl.FetchSet(addrs[i], source.Set, func(rec []byte) error {
+					ok, err := responsible(si, rec)
+					if err != nil || !ok {
+						return err
+					}
+					hit, err := dispatch(rec)
+					if hit {
+						rep.FromSource++
+					}
+					return err
+				})
+				if err != nil {
+					return reports, fmt.Errorf("placement: recover %s from %s: %w", target.Set, source.Set, err)
+				}
+			}
+		}
+
+		// Pass 2: restore colliding objects. Their every copy lived on the
+		// failed node, so pass 1 cannot see them; the dedicated set holds
+		// an extra copy placed off the colliding node.
+		for _, i := range surviving {
+			err := cl.FetchSet(addrs[i], g.Colliding, func(rec []byte) error {
+				if RandomNode(rec, k) != failedIdx {
+					// The colliding node survived; nothing was lost.
+					return nil
+				}
+				hit, err := dispatch(rec)
+				if hit {
+					rep.FromColliding++
+				}
+				return err
+			})
+			if err != nil {
+				return reports, fmt.Errorf("placement: recover %s colliding objects: %w", target.Set, err)
+			}
+		}
+		if err := b.flush(); err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// CountSet totals a set's records over the given workers.
+func CountSet(cl *cluster.Client, addrs []string, set string) (int64, error) {
+	var n int64
+	for _, addr := range addrs {
+		if err := cl.FetchSet(addr, set, func([]byte) error { n++; return nil }); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

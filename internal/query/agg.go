@@ -1,0 +1,93 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"pangea/internal/core"
+	"pangea/internal/services"
+)
+
+// AggSpec defines a hash aggregation (Table 2: Hash + Aggregate). Values
+// are fixed-size byte vectors; Init seeds the accumulator from a row and
+// Combine merges two accumulators in place — the classic
+// initialize/accumulate/merge contract that makes local partials mergeable
+// in a final stage.
+type AggSpec struct {
+	// Key extracts the grouping key.
+	Key func(Row) []byte
+	// ValSize is the accumulator width in bytes.
+	ValSize int
+	// Init writes a row's contribution into the zeroed accumulator val.
+	Init func(r Row, val []byte)
+	// Combine merges src into dst.
+	Combine func(dst, src []byte)
+}
+
+// LocalAggregate runs the local aggregation stage (Table 2: "Aggregate:
+// local stage") on one node: rows stream into a virtual hash buffer whose
+// pages live in the given locality set, spilling partials under memory
+// pressure. numRoot is the root partition count of the hash service.
+func LocalAggregate(in Iter, set *core.LocalitySet, numRoot int, spec AggSpec) (*services.VirtualHashBuffer, error) {
+	h, err := services.NewVirtualHashBuffer(set, numRoot, spec.ValSize, spec.Combine)
+	if err != nil {
+		return nil, err
+	}
+	val := make([]byte, spec.ValSize)
+	var mu sync.Mutex
+	err = in(func(r Row) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range val {
+			val[i] = 0
+		}
+		spec.Init(r, val)
+		return h.Upsert(spec.Key(r), val)
+	})
+	if cerr := h.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// FinalAggregate merges the partial results of per-node local stages into
+// one map (Table 2: "Aggregate: final stage").
+func FinalAggregate(partials []*services.VirtualHashBuffer, spec AggSpec) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for _, h := range partials {
+		err := h.Walk(func(key, val []byte) error {
+			k := string(key)
+			if old, ok := out[k]; ok {
+				spec.Combine(old, val)
+			} else {
+				out[k] = append([]byte(nil), val...)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Aggregate runs both stages on a single node: a convenience for
+// micro-benchmarks and examples.
+func Aggregate(in Iter, bp *core.BufferPool, setName string, spec AggSpec) (map[string][]byte, error) {
+	set, err := bp.CreateSet(core.SetSpec{Name: setName, PageSize: 256 << 10})
+	if err != nil {
+		return nil, fmt.Errorf("query: aggregate set: %w", err)
+	}
+	h, err := LocalAggregate(in, set, 8, spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := FinalAggregate([]*services.VirtualHashBuffer{h}, spec)
+	if derr := bp.DropSet(set); err == nil && derr != nil {
+		err = derr
+	}
+	return res, err
+}

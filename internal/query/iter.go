@@ -1,0 +1,121 @@
+// Package query implements the distributed relational query processor the
+// paper builds on top of Pangea to run TPC-H (§9.1.2, Table 2): scan,
+// filter, flatten, hash, broadcast/partitioned hash map construction, join,
+// two-stage aggregation, pipelines, and query scheduling that consults the
+// statistics service to pick co-partitioned replicas.
+//
+// Rows are raw byte records stored in locality sets; operators compose as
+// push-based iterators so a whole pipeline runs over each page while it is
+// pinned — the paper's pipelining of joins with other computations.
+package query
+
+import (
+	"sync"
+
+	"pangea/internal/core"
+	"pangea/internal/services"
+)
+
+// Row is one relational record in its set's binary layout.
+type Row = []byte
+
+// Iter is a push-based row stream: it calls emit for every row, stopping on
+// error. Operators wrap Iters, forming the paper's Pipeline module.
+type Iter func(emit func(Row) error) error
+
+// Scan streams every row of a locality set with numThreads concurrent page
+// iterators (Table 2: Scan). emit may be called from multiple goroutines;
+// downstream stateful sinks must either lock or use per-thread state via
+// ScanThreaded.
+func Scan(set *core.LocalitySet, numThreads int) Iter {
+	return func(emit func(Row) error) error {
+		return services.ScanSet(set, numThreads, func(_ int, rec []byte) error {
+			return emit(rec)
+		})
+	}
+}
+
+// ScanThreaded is Scan with the worker-thread index exposed, for sinks that
+// keep per-thread state (e.g. per-thread shuffle buffers).
+func ScanThreaded(set *core.LocalitySet, numThreads int, fn func(thread int, row Row) error) error {
+	return services.ScanSet(set, numThreads, fn)
+}
+
+// Filter drops rows failing the predicate (Table 2: Filter).
+func Filter(in Iter, pred func(Row) bool) Iter {
+	return func(emit func(Row) error) error {
+		return in(func(r Row) error {
+			if !pred(r) {
+				return nil
+			}
+			return emit(r)
+		})
+	}
+}
+
+// Flatten maps one row to zero or more rows (Table 2: Flatten). fn calls
+// out for each produced row.
+func Flatten(in Iter, fn func(r Row, out func(Row) error) error) Iter {
+	return func(emit func(Row) error) error {
+		return in(func(r Row) error {
+			return fn(r, emit)
+		})
+	}
+}
+
+// Map transforms each row one-to-one.
+func Map(in Iter, fn func(Row) (Row, error)) Iter {
+	return func(emit func(Row) error) error {
+		return in(func(r Row) error {
+			out, err := fn(r)
+			if err != nil {
+				return err
+			}
+			return emit(out)
+		})
+	}
+}
+
+// Count drains the stream and returns the row count.
+func Count(in Iter) (int64, error) {
+	var n int64
+	var mu sync.Mutex
+	err := in(func(Row) error {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return nil
+	})
+	return n, err
+}
+
+// Collect drains the stream into a slice, copying each row (rows emitted by
+// Scan alias pinned pages and are invalid after the scan).
+func Collect(in Iter) ([]Row, error) {
+	var rows []Row
+	var mu sync.Mutex
+	err := in(func(r Row) error {
+		c := append(Row(nil), r...)
+		mu.Lock()
+		rows = append(rows, c)
+		mu.Unlock()
+		return nil
+	})
+	return rows, err
+}
+
+// Materialize writes the stream into a locality set through the sequential
+// write service and returns the row count.
+func Materialize(in Iter, out *core.LocalitySet) (int64, error) {
+	w := services.NewSeqWriter(out)
+	var mu sync.Mutex
+	err := in(func(r Row) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return w.Add(r)
+	})
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	return w.Count(), err
+}

@@ -1,0 +1,102 @@
+package query
+
+import (
+	"sync"
+
+	"pangea/internal/core"
+	"pangea/internal/services"
+)
+
+// BuildBroadcastMap builds a join hash map from a (typically small) build
+// side (Table 2: "Build broadcast hash map"). In a distributed run, each
+// node first receives the full build side through the broadcast service and
+// then builds this map locally.
+func BuildBroadcastMap(in Iter, set *core.LocalitySet, key func(Row) []byte) (*services.JoinMap, error) {
+	m := services.NewJoinMap(set)
+	var mu sync.Mutex
+	err := in(func(r Row) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return m.Insert(key(r), r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Seal(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BuildPartitionedMap builds a join hash map over one node's partition of a
+// co-partitioned build side (Table 2: "Build partitioned hash map"). It is
+// identical in mechanism to the broadcast build — the difference is the
+// input: a replica already partitioned on the join key, so each node builds
+// only from its local partition and no network transfer happens. The query
+// scheduler arranges for that input via the statistics service (§7).
+func BuildPartitionedMap(in Iter, set *core.LocalitySet, key func(Row) []byte) (*services.JoinMap, error) {
+	return BuildBroadcastMap(in, set, key)
+}
+
+// HashJoin probes a built join map for every probe row (Table 2: Join),
+// emitting combine(probeRow, buildRow) for each match. The probe pipeline
+// runs while probe-side pages stay pinned, so the join is pipelined with
+// upstream filters and downstream aggregation.
+func HashJoin(probe Iter, m *services.JoinMap, probeKey func(Row) []byte, combine func(probeRow, buildRow Row) Row) Iter {
+	return func(emit func(Row) error) error {
+		return probe(func(pr Row) error {
+			return m.Probe(probeKey(pr), func(br Row) error {
+				return emit(combine(pr, br))
+			})
+		})
+	}
+}
+
+// SemiJoin emits probe rows that have at least one match in the map
+// (EXISTS), used by Q04.
+func SemiJoin(probe Iter, m *services.JoinMap, probeKey func(Row) []byte) Iter {
+	return func(emit func(Row) error) error {
+		return probe(func(pr Row) error {
+			found := false
+			err := m.Probe(probeKey(pr), func(Row) error {
+				found = true
+				return errStopProbe
+			})
+			if err != nil && err != errStopProbe {
+				return err
+			}
+			if found {
+				return emit(pr)
+			}
+			return nil
+		})
+	}
+}
+
+// AntiJoin emits probe rows with no match in the map (NOT EXISTS), used by
+// Q22.
+func AntiJoin(probe Iter, m *services.JoinMap, probeKey func(Row) []byte) Iter {
+	return func(emit func(Row) error) error {
+		return probe(func(pr Row) error {
+			found := false
+			err := m.Probe(probeKey(pr), func(Row) error {
+				found = true
+				return errStopProbe
+			})
+			if err != nil && err != errStopProbe {
+				return err
+			}
+			if !found {
+				return emit(pr)
+			}
+			return nil
+		})
+	}
+}
+
+// errStopProbe short-circuits a probe after the first match.
+var errStopProbe = stopProbe{}
+
+type stopProbe struct{}
+
+func (stopProbe) Error() string { return "query: stop probe" }

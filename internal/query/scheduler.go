@@ -1,0 +1,225 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"pangea/internal/cluster"
+	"pangea/internal/core"
+	"pangea/internal/placement"
+	"pangea/internal/services"
+)
+
+// Executor runs query pipelines over a Pangea deployment (Table 2:
+// QueryScheduling + Pipeline). The computation processes are co-located
+// with the workers, per Fig 2; each per-node pipeline therefore operates
+// directly on the node's buffer pool, while cross-node movement (shuffle,
+// broadcast) goes through the cluster protocol.
+type Executor struct {
+	Client  *cluster.Client
+	Workers []*cluster.Worker
+	Addrs   []string
+	// Threads is the number of long-living worker threads per node.
+	Threads int
+}
+
+// NewExecutor assembles an executor over co-located workers.
+func NewExecutor(cl *cluster.Client, workers []*cluster.Worker, threads int) *Executor {
+	addrs := make([]string, len(workers))
+	for i, w := range workers {
+		addrs[i] = w.Addr()
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return &Executor{Client: cl, Workers: workers, Addrs: addrs, Threads: threads}
+}
+
+// Parallel runs fn on every node concurrently and returns the first error.
+func (e *Executor) Parallel(fn func(node int, w *cluster.Worker) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(e.Workers))
+	for i, w := range e.Workers {
+		wg.Add(1)
+		go func(i int, w *cluster.Worker) {
+			defer wg.Done()
+			errs[i] = fn(i, w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Set returns the named locality set on one node.
+func (e *Executor) Set(node int, name string) (*core.LocalitySet, error) {
+	s, ok := e.Workers[node].Pool().GetSet(name)
+	if !ok {
+		return nil, fmt.Errorf("query: no set %q on node %d", name, node)
+	}
+	return s, nil
+}
+
+// ChooseReplica is the query scheduler's replica selection (§9.1.2): it
+// consults the manager's statistics service for the source set's
+// replication group and returns the replica registered under the wanted
+// partition scheme. coPartitioned is false when no such replica exists and
+// the source itself must be used (forcing a runtime repartition, the
+// Spark-over-HDFS situation).
+func (e *Executor) ChooseReplica(source, scheme string) (set string, coPartitioned bool) {
+	group, err := e.Client.Replicas(source)
+	if err != nil {
+		return source, false
+	}
+	for _, r := range group {
+		if r.Scheme == scheme {
+			return r.Set, true
+		}
+	}
+	return source, false
+}
+
+// Exchange repartitions per-node row streams onto a fresh distributed set
+// keyed by key — the runtime shuffle a query needs when no co-partitioned
+// replica exists. The new set is created on every node; rows are routed
+// with the same partition->node placement the data placement system uses.
+func (e *Executor) Exchange(name string, sources func(node int) Iter, key func(Row) []byte, pageSize int64) error {
+	if err := e.Client.CreateSet(name, pageSize, uint8(core.WriteBack)); err != nil {
+		return err
+	}
+	part := &placement.Partitioner{
+		Scheme:        "exchange",
+		NumPartitions: len(e.Workers) * 4,
+		Key:           func(rec []byte) ([]byte, error) { return key(rec), nil },
+	}
+	return e.Parallel(func(node int, w *cluster.Worker) error {
+		const batchSize = 256
+		batches := make([][][]byte, len(e.Workers))
+		flush := func(dst int) error {
+			if len(batches[dst]) == 0 {
+				return nil
+			}
+			err := e.Client.AddRecords(e.Addrs[dst], name, batches[dst])
+			batches[dst] = batches[dst][:0]
+			return err
+		}
+		var mu sync.Mutex
+		err := sources(node)(func(r Row) error {
+			dst, err := part.NodeOf(r, len(e.Workers))
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			batches[dst] = append(batches[dst], append(Row(nil), r...))
+			if len(batches[dst]) >= batchSize {
+				return flush(dst)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for dst := range batches {
+			if err := flush(dst); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Broadcast replicates the union of a distributed set onto every node as a
+// fresh local set, through the cluster's fetch stream — the broadcast
+// service feeding broadcast joins.
+func (e *Executor) Broadcast(source, target string, pageSize int64) error {
+	// Gather the full set once.
+	var rows [][]byte
+	for _, addr := range e.Addrs {
+		err := e.Client.FetchSet(addr, source, func(rec []byte) error {
+			rows = append(rows, append([]byte(nil), rec...))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := e.Client.CreateSet(target, pageSize, uint8(core.WriteBack)); err != nil {
+		return err
+	}
+	return e.Parallel(func(node int, w *cluster.Worker) error {
+		const batch = 512
+		for i := 0; i < len(rows); i += batch {
+			j := i + batch
+			if j > len(rows) {
+				j = len(rows)
+			}
+			if err := e.Client.AddRecords(e.Addrs[node], target, rows[i:j]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// DropEverywhere removes a set from every node, ignoring missing-set
+// errors (a node may hold no pages of a sparse set).
+func (e *Executor) DropEverywhere(name string) {
+	for _, addr := range e.Addrs {
+		_ = e.Client.DropSet(addr, name)
+	}
+}
+
+// DistributedAggregate runs the two aggregation stages across the cluster:
+// local hash aggregation per node over in(node), then a final merge of the
+// per-node partials at the coordinator.
+func (e *Executor) DistributedAggregate(tag string, in func(node int) Iter, spec AggSpec) (map[string][]byte, error) {
+	partials := make([]map[string][]byte, len(e.Workers))
+	err := e.Parallel(func(node int, w *cluster.Worker) error {
+		setName := fmt.Sprintf("%s-agg-%d", tag, node)
+		// The hash service pins one active page per root partition; keep
+		// their combined footprint a small fraction of the pool so the
+		// aggregation composes with concurrent scans under memory pressure.
+		pageSize := w.Pool().Capacity() / 32
+		if pageSize > 256<<10 {
+			pageSize = 256 << 10
+		}
+		if pageSize < 8<<10 {
+			pageSize = 8 << 10
+		}
+		set, err := w.Pool().CreateSet(core.SetSpec{Name: setName, PageSize: pageSize})
+		if err != nil {
+			return err
+		}
+		h, err := LocalAggregate(in(node), set, 4, spec)
+		if err != nil {
+			return err
+		}
+		res, err := FinalAggregate([]*services.VirtualHashBuffer{h}, spec)
+		if err != nil {
+			return err
+		}
+		partials[node] = res
+		return w.Pool().DropSet(set)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte)
+	for _, p := range partials {
+		for k, v := range p {
+			if old, ok := out[k]; ok {
+				spec.Combine(old, v)
+			} else {
+				out[k] = append([]byte(nil), v...)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+package services
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pangea/internal/core"
+)
+
+// TestRecordFramingProperty: any sequence of records that fits round-trips
+// through a page region in order.
+func TestRecordFramingProperty(t *testing.T) {
+	f := func(lens []uint8) bool {
+		buf := make([]byte, 8192)
+		initPage(buf, len(buf)-pageHeaderSize)
+		var want [][]byte
+		off := pageHeaderSize
+		for i, ln := range lens {
+			rec := bytes.Repeat([]byte{byte(i + 1)}, int(ln))
+			next, ok := appendRecord(buf, off, len(buf), rec)
+			if !ok {
+				break
+			}
+			// Zero-length records terminate the region by construction, so
+			// the framing cannot represent them mid-stream; writers in
+			// Pangea never emit empty records.
+			if ln == 0 {
+				return true
+			}
+			want = append(want, rec)
+			off = next
+		}
+		var got [][]byte
+		if err := WalkPage(buf, func(rec []byte) error {
+			got = append(got, append([]byte(nil), rec...))
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWalkPageDetectsCorruptLength: a record header pointing past the
+// region is an error, not a crash or silent truncation.
+func TestWalkPageDetectsCorruptLength(t *testing.T) {
+	buf := make([]byte, 256)
+	initPage(buf, 256-pageHeaderSize)
+	if _, ok := appendRecord(buf, pageHeaderSize, len(buf), []byte("x")); !ok {
+		t.Fatal("append failed")
+	}
+	// Corrupt the length field.
+	buf[pageHeaderSize] = 0xFF
+	buf[pageHeaderSize+1] = 0xFF
+	if err := WalkPage(buf, func([]byte) error { return nil }); err == nil {
+		t.Error("corrupt record length must be reported")
+	}
+}
+
+// TestShuffleSlowWriterHoldsPagePinned: a page is unpinned only after the
+// slowest writer releases its small page, even when the allocator has long
+// moved on to fresh pages.
+func TestShuffleSlowWriterHoldsPagePinned(t *testing.T) {
+	bp := newPool(t, 2<<20)
+	set := mkSet(t, bp, "sh", 64<<10)
+	sink, err := NewShuffleSink(set, 16<<10) // 3 regions per page (header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := NewVirtualShuffleBuffer(sink)
+	if err := slow.Add([]byte("slow writer's first record")); err != nil {
+		t.Fatal(err)
+	}
+	// Fast writers churn through several pages.
+	fast := NewVirtualShuffleBuffer(sink)
+	big := make([]byte, 15<<10)
+	for i := 0; i < 12; i++ {
+		if err := fast.Add(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fast.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The slow writer still holds a region of the first page: that page
+	// must be pinned (evictable set must exclude it).
+	if set.NumPages() < 3 {
+		t.Fatalf("expected several pages, got %d", set.NumPages())
+	}
+	if err := slow.Add([]byte("slow writer's second record")); err != nil {
+		t.Fatalf("slow writer's region must remain writable: %v", err)
+	}
+	if err := slow.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything written must come back.
+	var recs int
+	if err := ScanSet(set, 1, func(_ int, rec []byte) error {
+		recs++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if recs != 14 {
+		t.Errorf("scanned %d records, want 14", recs)
+	}
+}
+
+// TestHashBufferCustomCombiner: max-combining works through spills.
+func TestHashBufferCustomCombiner(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	set := mkSet(t, bp, "max", 32<<10)
+	max := func(old, new int64) int64 {
+		if new > old {
+			return new
+		}
+		return old
+	}
+	h, err := NewInt64HashBuffer(set, 2, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		key := []byte(fmt.Sprintf("k%02d", i%50))
+		if err := h.Upsert(key, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res {
+		var i int
+		fmt.Sscanf(k, "k%d", &i)
+		want := int64(2950 + i)
+		if v != want {
+			t.Errorf("%s = %d, want %d", k, v, want)
+		}
+	}
+}
+
+// TestVirtualHashBufferValueSizeEnforced: mismatched value widths are
+// rejected up front.
+func TestVirtualHashBufferValueSizeEnforced(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	set := mkSet(t, bp, "vs", 32<<10)
+	h, err := NewVirtualHashBuffer(set, 1, 16, func(dst, src []byte) { copy(dst, src) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Upsert([]byte("k"), make([]byte, 8)); err == nil {
+		t.Error("wrong value size must be rejected")
+	}
+	if err := h.Upsert([]byte("k"), make([]byte, 16)); err != nil {
+		t.Errorf("correct value size rejected: %v", err)
+	}
+	_ = h.Close()
+}
+
+func TestNewVirtualHashBufferValidation(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	set := mkSet(t, bp, "bad", 32<<10)
+	if _, err := NewVirtualHashBuffer(set, 0, 8, func(dst, src []byte) {}); err == nil {
+		t.Error("zero partitions must be rejected")
+	}
+	if _, err := NewVirtualHashBuffer(set, 1, 0, func(dst, src []byte) {}); err == nil {
+		t.Error("zero value size must be rejected")
+	}
+	if _, err := NewVirtualHashBuffer(set, 1, 8, nil); err == nil {
+		t.Error("nil combiner must be rejected")
+	}
+}
+
+// TestScanEmptySet: iterating a set with no pages completes immediately.
+func TestScanEmptySet(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	set := mkSet(t, bp, "empty", 4096)
+	done := make(chan error, 1)
+	go func() {
+		done <- ScanSet(set, 3, func(int, []byte) error {
+			t.Error("callback on empty set")
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scan of empty set hung")
+	}
+}
+
+// TestJoinMapEmptyKeyAndPayload: degenerate shapes are stored faithfully.
+func TestJoinMapEmptyKeyAndPayload(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	set := mkSet(t, bp, "jm", 4096)
+	m := NewJoinMap(set)
+	if err := m.Insert([]byte{}, []byte("payload-under-empty-key")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert([]byte("key"), []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := m.Probe([]byte{}, func(p []byte) error {
+		got = string(p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != "payload-under-empty-key" {
+		t.Errorf("empty-key payload = %q", got)
+	}
+	var hits int
+	if err := m.Probe([]byte("key"), func(p []byte) error {
+		hits++
+		if len(p) != 0 {
+			t.Errorf("payload = %q, want empty", p)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Errorf("hits = %d", hits)
+	}
+}
+
+// TestSeqWriterInterleavedWithDifferentSets: two writers on different sets
+// in one pool do not interfere.
+func TestSeqWriterInterleavedWithDifferentSets(t *testing.T) {
+	bp := newPool(t, 2<<20)
+	a := mkSet(t, bp, "a", 8<<10)
+	b := mkSet(t, bp, "b", 8<<10)
+	wa, wb := NewSeqWriter(a), NewSeqWriter(b)
+	for i := 0; i < 500; i++ {
+		if err := wa.Add([]byte(fmt.Sprintf("a-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := wb.Add([]byte(fmt.Sprintf("b-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = wa.Close()
+	_ = wb.Close()
+	for name, set := range map[string]*core.LocalitySet{"a": a, "b": b} {
+		var n int
+		if err := ScanSet(set, 1, func(_ int, rec []byte) error {
+			if rec[0] != name[0] {
+				t.Errorf("record %q in set %s", rec, name)
+			}
+			n++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != 500 {
+			t.Errorf("set %s has %d records", name, n)
+		}
+	}
+}

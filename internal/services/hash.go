@@ -1,0 +1,377 @@
+package services
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pangea/internal/core"
+	"pangea/internal/memory"
+)
+
+// The hash service (§8) adopts a dynamic partitioning approach: each
+// buffer-pool page contains an independent hash table plus all of its
+// key-value pairs, with a memcached-style slab allocator using the page as
+// its memory pool so every allocation is bounded to the page. All hash
+// partitions are grouped into one locality set. When a page fills, a new
+// page is allocated (splitting a child partition); when the buffer pool
+// itself is short, full pages are unpinned and spilled to disk as
+// partial-aggregation results, and Result re-aggregates the spilled
+// partials.
+//
+// In-page layout:
+//
+//	[0:4)    u32 bucket count B
+//	[4:8)    u32 entry count
+//	[8:12)   u32 value size V
+//	[12:12+4B) bucket heads: u32 slab offsets, 0 = empty
+//	[...:)   slab region
+//
+// Entry layout inside a slab chunk:
+//
+//	[0:4)   u32 next entry offset (0 = end of chain)
+//	[4:8)   u32 key length
+//	[8:8+V) value bytes
+//	[8+V:)  key bytes
+//
+// Slab offsets are stored +1 so that 0 can mean "nil".
+
+const (
+	hashHdrSize   = 12
+	entryHdrSize  = 8
+	hashFillDenom = 6 // one bucket per hashFillDenom*32 bytes of page
+)
+
+// hashPartition is one page-local hash table.
+type hashPartition struct {
+	page    *core.Page
+	slab    *memory.Slab
+	buckets []byte // aliases the page
+	nb      uint32
+	vs      int // value size
+	slabOff int // offset of the slab region within the page
+}
+
+// fnv1a hashes a key.
+func fnv1a(key []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// initHashPage formats a fresh page as an empty hash partition.
+func initHashPage(p *core.Page, valSize int) *hashPartition {
+	buf := p.Bytes()
+	nb := uint32(len(buf) / (hashFillDenom * 32))
+	if nb < 16 {
+		nb = 16
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], nb)
+	binary.LittleEndian.PutUint32(buf[4:8], 0)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(valSize))
+	bucketEnd := hashHdrSize + 4*int(nb)
+	for i := hashHdrSize; i < bucketEnd; i += 4 {
+		binary.LittleEndian.PutUint32(buf[i:i+4], 0)
+	}
+	region := buf[bucketEnd:]
+	return &hashPartition{
+		page:    p,
+		slab:    memory.NewSlab(region, memory.SlabConfig{SlabSize: 4 << 10, MinChunk: 32}),
+		buckets: buf[hashHdrSize:bucketEnd],
+		nb:      nb,
+		vs:      valSize,
+		slabOff: bucketEnd,
+	}
+}
+
+// openHashPage builds a read-only partition view over an existing page
+// image (used when re-aggregating spilled partials).
+func openHashPage(p *core.Page) *hashPartition {
+	buf := p.Bytes()
+	nb := binary.LittleEndian.Uint32(buf[0:4])
+	vs := int(binary.LittleEndian.Uint32(buf[8:12]))
+	bucketEnd := hashHdrSize + 4*int(nb)
+	return &hashPartition{page: p, buckets: buf[hashHdrSize:bucketEnd], nb: nb, vs: vs, slabOff: bucketEnd}
+}
+
+func (hp *hashPartition) bucketHead(b uint32) uint32 {
+	return binary.LittleEndian.Uint32(hp.buckets[4*b : 4*b+4])
+}
+
+func (hp *hashPartition) setBucketHead(b, off uint32) {
+	binary.LittleEndian.PutUint32(hp.buckets[4*b:4*b+4], off)
+}
+
+// entry views an entry chunk at slab offset off (stored +1).
+func (hp *hashPartition) entry(off uint32) []byte {
+	base := hp.slabOff + int(off) - 1
+	return hp.page.Bytes()[base:]
+}
+
+// find returns the slab offset (+1) of the entry holding key, or 0.
+func (hp *hashPartition) find(key []byte) uint32 {
+	b := uint32(fnv1a(key) % uint64(hp.nb))
+	for off := hp.bucketHead(b); off != 0; {
+		e := hp.entry(off)
+		klen := binary.LittleEndian.Uint32(e[4:8])
+		if int(klen) == len(key) && string(e[entryHdrSize+hp.vs:entryHdrSize+hp.vs+int(klen)]) == string(key) {
+			return off
+		}
+		off = binary.LittleEndian.Uint32(e[0:4])
+	}
+	return 0
+}
+
+// value returns the mutable value slice of the entry at off.
+func (hp *hashPartition) value(off uint32) []byte {
+	return hp.entry(off)[entryHdrSize : entryHdrSize+hp.vs]
+}
+
+// insert allocates a new entry; returns false when the page's slab is full.
+func (hp *hashPartition) insert(key, val []byte) bool {
+	chunk, ok := hp.slab.Alloc(entryHdrSize + hp.vs + len(key))
+	if !ok {
+		return false
+	}
+	off := uint32(chunk + 1)
+	e := hp.entry(off)
+	b := uint32(fnv1a(key) % uint64(hp.nb))
+	binary.LittleEndian.PutUint32(e[0:4], hp.bucketHead(b))
+	binary.LittleEndian.PutUint32(e[4:8], uint32(len(key)))
+	copy(e[entryHdrSize:entryHdrSize+hp.vs], val)
+	copy(e[entryHdrSize+hp.vs:], key)
+	hp.setBucketHead(b, off)
+	buf := hp.page.Bytes()
+	binary.LittleEndian.PutUint32(buf[4:8], binary.LittleEndian.Uint32(buf[4:8])+1)
+	return true
+}
+
+// walk calls fn for every (key, value) in the partition.
+func (hp *hashPartition) walk(fn func(key, val []byte) error) error {
+	for b := uint32(0); b < hp.nb; b++ {
+		for off := hp.bucketHead(b); off != 0; {
+			e := hp.entry(off)
+			klen := binary.LittleEndian.Uint32(e[4:8])
+			key := e[entryHdrSize+hp.vs : entryHdrSize+hp.vs+int(klen)]
+			if err := fn(key, e[entryHdrSize:entryHdrSize+hp.vs]); err != nil {
+				return err
+			}
+			off = binary.LittleEndian.Uint32(e[0:4])
+		}
+	}
+	return nil
+}
+
+// CombineFunc merges a source value into a destination aggregate in place.
+type CombineFunc func(dst, src []byte)
+
+// VirtualHashBuffer is the hash service's user-facing handle: K root
+// partitions indexed by key hash, each backed by page-local hash tables
+// holding fixed-size values. Inserting into a full partition transparently
+// splits a child partition onto a fresh page; under memory pressure older
+// pages spill as partial aggregates and Result re-aggregates them.
+type VirtualHashBuffer struct {
+	set     *core.LocalitySet
+	combine CombineFunc
+	valSize int
+	parts   []*hashPartition // active page per root partition
+	k       uint64
+}
+
+// NewVirtualHashBuffer attaches the hash service to a locality set with k
+// root partitions and valSize-byte values. It stamps
+// WritingPattern=random-mutable-write, ReadingPattern=random-read and
+// CurrentOperation=read-and-write on the set (§3.2).
+func NewVirtualHashBuffer(set *core.LocalitySet, k, valSize int, combine CombineFunc) (*VirtualHashBuffer, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("services: hash buffer needs at least 1 partition, got %d", k)
+	}
+	if valSize < 1 {
+		return nil, fmt.Errorf("services: hash buffer needs a positive value size, got %d", valSize)
+	}
+	if combine == nil {
+		return nil, fmt.Errorf("services: hash buffer needs a combine function")
+	}
+	set.SetWriting(core.RandomMutableWrite)
+	set.SetReading(core.RandomRead)
+	set.SetCurrentOp(core.OpReadWrite)
+	return &VirtualHashBuffer{
+		set:     set,
+		combine: combine,
+		valSize: valSize,
+		parts:   make([]*hashPartition, k),
+		k:       uint64(k),
+	}, nil
+}
+
+// Upsert inserts key with value val, or combines val into the key's current
+// value if the key is present in the partition's active page. Keys spilled
+// earlier are merged by Result, so Upsert is the paper's find/insert/set
+// flow in one call.
+func (h *VirtualHashBuffer) Upsert(key, val []byte) error {
+	if len(val) != h.valSize {
+		return fmt.Errorf("services: value size %d, buffer configured for %d", len(val), h.valSize)
+	}
+	r := fnv1a(key) % h.k
+	hp := h.parts[r]
+	if hp != nil {
+		if off := hp.find(key); off != 0 {
+			h.combine(hp.value(off), val)
+			return nil
+		}
+		if hp.insert(key, val) {
+			return nil
+		}
+		// Page full: retire it (unpin dirty; it becomes a spill candidate)
+		// and split a fresh child partition below.
+		if err := h.set.Unpin(hp.page, true); err != nil {
+			return err
+		}
+		h.parts[r] = nil
+	}
+	p, err := h.set.NewPage()
+	if err != nil {
+		return err
+	}
+	hp = initHashPage(p, h.valSize)
+	h.parts[r] = hp
+	if !hp.insert(key, val) {
+		return fmt.Errorf("services: key of %d bytes does not fit an empty hash page of %d bytes", len(key), h.set.PageSize())
+	}
+	return nil
+}
+
+// Find returns a copy of the key's value in its partition's active page. ok
+// is false if the key is absent there (it may still exist in spilled
+// partials).
+func (h *VirtualHashBuffer) Find(key []byte) (val []byte, ok bool) {
+	hp := h.parts[fnv1a(key)%h.k]
+	if hp == nil {
+		return nil, false
+	}
+	off := hp.find(key)
+	if off == 0 {
+		return nil, false
+	}
+	return append([]byte(nil), hp.value(off)...), true
+}
+
+// Close unpins all active pages. Call before Result.
+func (h *VirtualHashBuffer) Close() error {
+	var first error
+	for i, hp := range h.parts {
+		if hp == nil {
+			continue
+		}
+		if err := h.set.Unpin(hp.page, true); err != nil && first == nil {
+			first = err
+		}
+		h.parts[i] = nil
+	}
+	h.set.SetCurrentOp(core.OpNone)
+	return first
+}
+
+// Result re-aggregates every hash page of the set — resident and spilled —
+// into a single map: the final-stage merge the paper performs after all
+// objects are inserted through the virtual hash buffer.
+func (h *VirtualHashBuffer) Result() (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	err := h.Walk(func(key, val []byte) error {
+		k := string(key)
+		if old, ok := out[k]; ok {
+			h.combine(old, val)
+		} else {
+			out[k] = append([]byte(nil), val...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Walk streams every (key, partial-value) pair across all hash pages of the
+// set in page order. Values with the same key may appear several times
+// (once per partial); use Result for fully merged values.
+func (h *VirtualHashBuffer) Walk(fn func(key, val []byte) error) error {
+	n := h.set.NumPages()
+	for num := int64(0); num < n; num++ {
+		p, err := h.set.Pin(num)
+		if err != nil {
+			return fmt.Errorf("services: re-aggregate page %d: %w", num, err)
+		}
+		hp := openHashPage(p)
+		werr := hp.walk(fn)
+		if uerr := h.set.Unpin(p, false); werr == nil {
+			werr = uerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// Int64HashBuffer aggregates <key, int64> pairs — the shape of the paper's
+// key-value aggregation micro-benchmark (Table 4) and of counting
+// aggregations generally.
+type Int64HashBuffer struct {
+	h       *VirtualHashBuffer
+	combine func(old, new int64) int64
+}
+
+// Sum is the additive combiner.
+func Sum(old, new int64) int64 { return old + new }
+
+// NewInt64HashBuffer wraps the hash service for int64 values.
+func NewInt64HashBuffer(set *core.LocalitySet, k int, combine func(old, new int64) int64) (*Int64HashBuffer, error) {
+	if combine == nil {
+		combine = Sum
+	}
+	byteCombine := func(dst, src []byte) {
+		old := int64(binary.LittleEndian.Uint64(dst))
+		new := int64(binary.LittleEndian.Uint64(src))
+		binary.LittleEndian.PutUint64(dst, uint64(combine(old, new)))
+	}
+	h, err := NewVirtualHashBuffer(set, k, 8, byteCombine)
+	if err != nil {
+		return nil, err
+	}
+	return &Int64HashBuffer{h: h, combine: combine}, nil
+}
+
+// Upsert inserts or combines one pair.
+func (b *Int64HashBuffer) Upsert(key []byte, v int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return b.h.Upsert(key, buf[:])
+}
+
+// Find looks the key up in its partition's active page.
+func (b *Int64HashBuffer) Find(key []byte) (int64, bool) {
+	v, ok := b.h.Find(key)
+	if !ok {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(v)), true
+}
+
+// Close unpins active pages.
+func (b *Int64HashBuffer) Close() error { return b.h.Close() }
+
+// Result merges all partials into a map.
+func (b *Int64HashBuffer) Result() (map[string]int64, error) {
+	raw, err := b.h.Result()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(raw))
+	for k, v := range raw {
+		out[k] = int64(binary.LittleEndian.Uint64(v))
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package services
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pangea/internal/core"
+)
+
+// JoinMap is the join map service (§8): it builds a key → records hash
+// table whose record payloads live in buffer-pool pages of a locality set,
+// with an in-memory index of record locations. Probing pins the hosting
+// page, so large build sides spill and reload under the unified paging
+// policy like any other locality set.
+//
+// Records are stored through the sequential service framed as
+// [u32 keyLen][key][payload], so a join map's set can also be rebuilt by
+// re-scanning its pages (used by broadcast maps on remote nodes).
+type JoinMap struct {
+	set    *core.LocalitySet
+	writer *SeqWriter
+	index  map[string][]recLoc
+	n      int64
+}
+
+// recLoc addresses one framed record: the page number and the offset of
+// its record header within the page.
+type recLoc struct {
+	page int64
+	off  int32
+}
+
+// NewJoinMap attaches a join map to a locality set. The set's pages get
+// random reads during probing, so the hash-service attribute tags apply.
+func NewJoinMap(set *core.LocalitySet) *JoinMap {
+	set.SetWriting(core.RandomMutableWrite)
+	set.SetReading(core.RandomRead)
+	set.SetCurrentOp(core.OpReadWrite)
+	return &JoinMap{set: set, writer: NewSeqWriter(set), index: make(map[string][]recLoc)}
+}
+
+// Set returns the underlying locality set.
+func (m *JoinMap) Set() *core.LocalitySet { return m.set }
+
+// Len returns the number of records inserted.
+func (m *JoinMap) Len() int64 { return m.n }
+
+// Insert adds one (key, payload) record to the map.
+func (m *JoinMap) Insert(key, payload []byte) error {
+	rec := make([]byte, 4+len(key)+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
+	copy(rec[4:], key)
+	copy(rec[4+len(key):], payload)
+
+	// The writer appends within the current page; capture where.
+	pageBefore := m.writer.page
+	offBefore := m.writer.off
+	if err := m.writer.Add(rec); err != nil {
+		return err
+	}
+	loc := recLoc{off: int32(offBefore)}
+	if m.writer.page != pageBefore {
+		// Record went to a fresh page at the first record slot.
+		loc.off = pageHeaderSize
+	}
+	loc.page = m.writer.page.Num()
+	m.index[string(key)] = append(m.index[string(key)], loc)
+	m.n++
+	return nil
+}
+
+// Seal finishes building: the current page is unpinned and the map becomes
+// probe-only.
+func (m *JoinMap) Seal() error {
+	err := m.writer.Close()
+	m.set.SetCurrentOp(core.OpRead)
+	return err
+}
+
+// Probe calls fn for every payload stored under key.
+func (m *JoinMap) Probe(key []byte, fn func(payload []byte) error) error {
+	locs, ok := m.index[string(key)]
+	if !ok {
+		return nil
+	}
+	for _, loc := range locs {
+		p, err := m.set.Pin(loc.page)
+		if err != nil {
+			return fmt.Errorf("services: probe page %d: %w", loc.page, err)
+		}
+		buf := p.Bytes()
+		n := int(binary.LittleEndian.Uint32(buf[loc.off : loc.off+4]))
+		rec := buf[loc.off+4 : int(loc.off)+4+n]
+		klen := int(binary.LittleEndian.Uint32(rec[0:4]))
+		perr := fn(rec[4+klen:])
+		if uerr := m.set.Unpin(p, false); perr == nil {
+			perr = uerr
+		}
+		if perr != nil {
+			return perr
+		}
+	}
+	return nil
+}
+
+// Keys returns the number of distinct keys.
+func (m *JoinMap) Keys() int { return len(m.index) }
+
+// BuildBroadcastMap is the broadcast map service (§8): it scans a locality
+// set (typically a broadcast replica received from other nodes) and
+// constructs a join map from it, extracting the key of each record with
+// keyFn. The resulting map is backed by the target set.
+func BuildBroadcastMap(source, target *core.LocalitySet, keyFn func(rec []byte) ([]byte, error)) (*JoinMap, error) {
+	m := NewJoinMap(target)
+	err := ScanSet(source, 1, func(_ int, rec []byte) error {
+		key, err := keyFn(rec)
+		if err != nil {
+			return err
+		}
+		return m.Insert(key, rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Seal(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,123 @@
+// Package services implements the computational services Pangea pushes into
+// the storage system (paper §8): the sequential read/write service, the
+// shuffle service with its virtual shuffle buffers and small-page allocator,
+// the hash service with page-local hash tables over a slab allocator, and
+// the join/broadcast map services. Each service stamps the attribute tags of
+// the locality sets it touches, which is how the paging system learns access
+// patterns at runtime (§3.2).
+package services
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Service pages are divided into fixed-size regions, each holding a stream
+// of length-prefixed records terminated by a zero length (or the region
+// end). Sequential pages have a single region spanning the page; shuffle
+// pages are split into small pages, one region each, so multiple writer
+// threads can fill one buffer-pool page concurrently (§8).
+//
+// Page layout:
+//
+//	[0:4)  u32 regionSize
+//	[4:8)  u32 reserved
+//	[8:)   regions, each regionSize bytes; trailing bytes that do not fit a
+//	       whole region are unused
+//
+// Record framing within a region: u32 length, then payload. Length 0 marks
+// the end of the region's records.
+
+const (
+	pageHeaderSize = 8
+	recHeaderSize  = 4
+)
+
+// initPage stamps the region size into a freshly allocated page buffer.
+func initPage(buf []byte, regionSize int) {
+	if regionSize < recHeaderSize+1 || regionSize > len(buf)-pageHeaderSize {
+		panic(fmt.Sprintf("services: region size %d invalid for page of %d bytes", regionSize, len(buf)))
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(regionSize))
+	binary.LittleEndian.PutUint32(buf[4:8], 0)
+	// Zero the first record header of every region so readers see empty
+	// regions rather than stale bytes from a recycled arena block.
+	for off := pageHeaderSize; off+recHeaderSize <= len(buf) && off+regionSize <= len(buf); off += regionSize {
+		binary.LittleEndian.PutUint32(buf[off:off+4], 0)
+	}
+}
+
+// pageRegionSize reads the region size from a page buffer.
+func pageRegionSize(buf []byte) int {
+	return int(binary.LittleEndian.Uint32(buf[0:4]))
+}
+
+// regionsPerPage returns how many whole regions fit in a page buffer.
+func regionsPerPage(pageSize int64, regionSize int) int {
+	return int((pageSize - pageHeaderSize) / int64(regionSize))
+}
+
+// appendRecord writes one framed record at off within buf and returns the
+// next offset. end is the exclusive limit of the region. ok is false when
+// the record (plus its trailing terminator slot) does not fit.
+func appendRecord(buf []byte, off, end int, rec []byte) (next int, ok bool) {
+	need := recHeaderSize + len(rec)
+	if off+need > end {
+		return off, false
+	}
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(rec)))
+	copy(buf[off+4:off+4+len(rec)], rec)
+	// Pre-write the terminator; the next append overwrites it.
+	if off+need+recHeaderSize <= end {
+		binary.LittleEndian.PutUint32(buf[off+need:off+need+4], 0)
+	}
+	return off + need, true
+}
+
+// walkRegion calls fn for every record in the region buf[off:end). It stops
+// at a zero-length header or when fn returns an error.
+func walkRegion(buf []byte, off, end int, fn func(rec []byte) error) error {
+	for off+recHeaderSize <= end {
+		n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		if n == 0 {
+			return nil
+		}
+		if off+recHeaderSize+n > end {
+			return fmt.Errorf("services: corrupt record of %d bytes at offset %d (region end %d)", n, off, end)
+		}
+		if err := fn(buf[off+recHeaderSize : off+recHeaderSize+n]); err != nil {
+			return err
+		}
+		off += recHeaderSize + n
+	}
+	return nil
+}
+
+// PageHeaderSize is the size of the service-page header; the first record
+// slot of a single-region page sits at this offset.
+const PageHeaderSize = pageHeaderSize
+
+// InitServicePage formats buf as a service page with the given region size.
+// External writers (the cluster data proxy fills pinned shared-memory pages
+// in place) use this before appending records.
+func InitServicePage(buf []byte, regionSize int) { initPage(buf, regionSize) }
+
+// AppendServiceRecord appends one framed record to buf at off, bounded by
+// end. It returns the next offset and whether the record fit.
+func AppendServiceRecord(buf []byte, off, end int, rec []byte) (next int, ok bool) {
+	return appendRecord(buf, off, end, rec)
+}
+
+// WalkPage iterates every record in every region of a service page buffer.
+func WalkPage(buf []byte, fn func(rec []byte) error) error {
+	rs := pageRegionSize(buf)
+	if rs <= 0 {
+		return fmt.Errorf("services: page has invalid region size %d", rs)
+	}
+	for off := pageHeaderSize; off+rs <= len(buf); off += rs {
+		if err := walkRegion(buf, off, off+rs, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+
+	"pangea/internal/core"
+)
+
+// SeqWriter is the sequential write service (§8): a sequential allocator
+// that carves record space from the current page of a locality set and pins
+// a fresh page when the current one fills. One SeqWriter per thread; each
+// thread writes to its own page, as the paper prescribes.
+//
+// Attaching a SeqWriter stamps WritingPattern=sequential-write and
+// CurrentOperation=write on the set (§3.2).
+type SeqWriter struct {
+	set  *core.LocalitySet
+	page *core.Page
+	off  int
+	end  int
+	n    int64 // records written
+}
+
+// NewSeqWriter attaches a sequential allocator to the set.
+func NewSeqWriter(set *core.LocalitySet) *SeqWriter {
+	set.SetWriting(core.SequentialWrite)
+	set.SetCurrentOp(core.OpWrite)
+	return &SeqWriter{set: set}
+}
+
+// Add appends one record to the set.
+func (w *SeqWriter) Add(rec []byte) error {
+	if int64(len(rec)+recHeaderSize+pageHeaderSize) > w.set.PageSize() {
+		return fmt.Errorf("services: record of %d bytes exceeds page size %d", len(rec), w.set.PageSize())
+	}
+	for {
+		if w.page == nil {
+			p, err := w.set.NewPage()
+			if err != nil {
+				return err
+			}
+			initPage(p.Bytes(), int(w.set.PageSize())-pageHeaderSize)
+			w.page, w.off, w.end = p, pageHeaderSize, int(w.set.PageSize())
+		}
+		next, ok := appendRecord(w.page.Bytes(), w.off, w.end, rec)
+		if ok {
+			w.off = next
+			w.n++
+			return nil
+		}
+		if err := w.set.Unpin(w.page, true); err != nil {
+			return err
+		}
+		w.page = nil
+	}
+}
+
+// Count returns the number of records written so far.
+func (w *SeqWriter) Count() int64 { return w.n }
+
+// Close releases the current page and clears the set's current operation.
+func (w *SeqWriter) Close() error {
+	var err error
+	if w.page != nil {
+		err = w.set.Unpin(w.page, true)
+		w.page = nil
+	}
+	w.set.SetCurrentOp(core.OpNone)
+	return err
+}
+
+// PageIterator scans a stripe of a locality set's pages. Obtain one per
+// worker thread from PageIterators; each Next pins a page that the caller
+// must release with Release (or by unpinning directly).
+type PageIterator struct {
+	set  *core.LocalitySet
+	nums []int64
+	i    int
+}
+
+// PageIterators is the sequential read service's entry point (§8): it
+// returns n concurrent iterators that partition the set's pages in stripes,
+// and stamps ReadingPattern=sequential-read, CurrentOperation=read on the
+// set.
+func PageIterators(set *core.LocalitySet, n int) []*PageIterator {
+	if n < 1 {
+		n = 1
+	}
+	set.SetReading(core.SequentialRead)
+	set.SetCurrentOp(core.OpRead)
+	all := set.PageNums()
+	iters := make([]*PageIterator, n)
+	for k := 0; k < n; k++ {
+		var nums []int64
+		for i := k; i < len(all); i += n {
+			nums = append(nums, all[i])
+		}
+		iters[k] = &PageIterator{set: set, nums: nums}
+	}
+	return iters
+}
+
+// Next pins and returns the iterator's next page, or nil at the end of the
+// stripe.
+func (it *PageIterator) Next() (*core.Page, error) {
+	if it.i >= len(it.nums) {
+		return nil, nil
+	}
+	p, err := it.set.Pin(it.nums[it.i])
+	if err != nil {
+		return nil, err
+	}
+	it.i++
+	return p, nil
+}
+
+// Release unpins a page returned by Next.
+func (it *PageIterator) Release(p *core.Page) error { return it.set.Unpin(p, false) }
+
+// ScanSet runs fn over every record of the set using numThreads concurrent
+// page iterators — the long-living worker-thread model of Fig 2, where each
+// worker pulls pages in a loop rather than scheduling one task per block.
+func ScanSet(set *core.LocalitySet, numThreads int, fn func(thread int, rec []byte) error) error {
+	iters := PageIterators(set, numThreads)
+	var wg sync.WaitGroup
+	errCh := make(chan error, numThreads)
+	for t, it := range iters {
+		wg.Add(1)
+		go func(t int, it *PageIterator) {
+			defer wg.Done()
+			for {
+				p, err := it.Next()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if p == nil {
+					return
+				}
+				err = WalkPage(p.Bytes(), func(rec []byte) error { return fn(t, rec) })
+				if uerr := it.Release(p); err == nil {
+					err = uerr
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(t, it)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	set.SetCurrentOp(core.OpNone)
+	return nil
+}
+
+// WriteAll writes records to the set with a single sequential writer and
+// closes it. A convenience wrapper used by examples and tests.
+func WriteAll(set *core.LocalitySet, records [][]byte) error {
+	w := NewSeqWriter(set)
+	for _, r := range records {
+		if err := w.Add(r); err != nil {
+			_ = w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,531 @@
+package services
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pangea/internal/core"
+	"pangea/internal/disk"
+)
+
+func newPool(t *testing.T, mem int64) *core.BufferPool {
+	t.Helper()
+	arr, err := disk.NewArray(t.TempDir(), 1, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := core.NewPool(core.PoolConfig{Memory: mem, Array: arr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	return bp
+}
+
+func mkSet(t *testing.T, bp *core.BufferPool, name string, pageSize int64) *core.LocalitySet {
+	t.Helper()
+	s, err := bp.CreateSet(core.SetSpec{Name: name, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRecordFramingRoundTrip(t *testing.T) {
+	buf := make([]byte, 4096)
+	initPage(buf, 4096-pageHeaderSize)
+	recs := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc"), {}, []byte("end")}
+	off := pageHeaderSize
+	for _, r := range recs[:3] {
+		var ok bool
+		off, ok = appendRecord(buf, off, len(buf), r)
+		if !ok {
+			t.Fatalf("append %q failed", r)
+		}
+	}
+	var got [][]byte
+	if err := WalkPage(buf, func(rec []byte) error {
+		got = append(got, append([]byte(nil), rec...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records, want 3", len(got))
+	}
+	for i, r := range recs[:3] {
+		if !bytes.Equal(got[i], r) {
+			t.Errorf("record %d = %q, want %q", i, got[i], r)
+		}
+	}
+}
+
+func TestAppendRecordRejectsOverflow(t *testing.T) {
+	buf := make([]byte, 64)
+	initPage(buf, 64-pageHeaderSize)
+	_, ok := appendRecord(buf, pageHeaderSize, len(buf), make([]byte, 61))
+	if ok {
+		t.Error("record larger than region must be rejected")
+	}
+}
+
+func TestSequentialWriteReadRoundTrip(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	s := mkSet(t, bp, "s", 4096)
+	const n = 500
+	w := NewSeqWriter(s)
+	for i := 0; i < n; i++ {
+		if err := w.Add([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != n {
+		t.Errorf("Count = %d, want %d", w.Count(), n)
+	}
+	// Attribute inference (§3.2): writer stamped sequential-write.
+	if a := s.Attrs(); a.Writing != core.SequentialWrite {
+		t.Errorf("Writing = %v, want sequential-write", a.Writing)
+	}
+
+	seen := make([]bool, n)
+	var mu sync.Mutex
+	if err := ScanSet(s, 4, func(_ int, rec []byte) error {
+		var i int
+		if _, err := fmt.Sscanf(string(rec), "record-%d", &i); err != nil {
+			return err
+		}
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("record %d missing from scan", i)
+		}
+	}
+	if a := s.Attrs(); a.Reading != core.SequentialRead {
+		t.Errorf("Reading = %v, want sequential-read", a.Reading)
+	}
+}
+
+func TestSequentialSpillAndRescan(t *testing.T) {
+	// Working set exceeds memory: pages spill under the data-aware policy
+	// and every record still comes back on re-scan (×5 like Fig 7's test).
+	bp := newPool(t, 8*4096)
+	s := mkSet(t, bp, "big", 4096)
+	const n = 20000
+	w := NewSeqWriter(s)
+	for i := 0; i < n; i++ {
+		if err := w.Add([]byte(fmt.Sprintf("%08d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Stats().Evictions.Load() == 0 {
+		t.Fatal("expected spills for oversized working set")
+	}
+	for iter := 0; iter < 5; iter++ {
+		var count int64
+		var mu sync.Mutex
+		if err := ScanSet(s, 2, func(_ int, rec []byte) error {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != n {
+			t.Fatalf("iteration %d: scanned %d records, want %d", iter, count, n)
+		}
+	}
+}
+
+func TestSeqWriterRejectsOversizedRecord(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	s := mkSet(t, bp, "s", 256)
+	w := NewSeqWriter(s)
+	if err := w.Add(make([]byte, 256)); err == nil {
+		t.Error("record exceeding page size must be rejected")
+	}
+	_ = w.Close()
+}
+
+func TestPageIteratorsCoverAllPagesDisjointly(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	s := mkSet(t, bp, "s", 512)
+	w := NewSeqWriter(s)
+	for i := 0; i < 300; i++ {
+		if err := w.Add([]byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Close()
+	total := s.NumPages()
+	for _, nThreads := range []int{1, 3, 7} {
+		iters := PageIterators(s, nThreads)
+		seen := make(map[int64]int)
+		for _, it := range iters {
+			for {
+				p, err := it.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p == nil {
+					break
+				}
+				seen[p.Num()]++
+				_ = it.Release(p)
+			}
+		}
+		if int64(len(seen)) != total {
+			t.Errorf("n=%d: covered %d pages, want %d", nThreads, len(seen), total)
+		}
+		for num, c := range seen {
+			if c != 1 {
+				t.Errorf("n=%d: page %d visited %d times", nThreads, num, c)
+			}
+		}
+	}
+}
+
+func TestShuffleConcurrentWritersOnePartition(t *testing.T) {
+	bp := newPool(t, 4<<20)
+	sh, err := NewShuffle(bp, "shuf", 4, 256<<10, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const perWriter = 1000
+	var wg sync.WaitGroup
+	for wtr := 0; wtr < writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			bufs := sh.Writer()
+			for i := 0; i < perWriter; i++ {
+				rec := []byte(fmt.Sprintf("w%d-%06d", wtr, i))
+				part := int(fnv1a(rec) % 4)
+				if err := bufs[part].Add(rec); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+			}
+			if err := CloseWriters(bufs); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}(wtr)
+	}
+	wg.Wait()
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Attribute inference: shuffle stamps concurrent-write.
+	if a := sh.Sink(0).Set().Attrs(); a.Writing != core.ConcurrentWrite {
+		t.Errorf("Writing = %v, want concurrent-write", a.Writing)
+	}
+	// Every record must land in exactly the partition its hash names.
+	var total int
+	for p := 0; p < 4; p++ {
+		if err := sh.ReadPartition(p, 2, func(rec []byte) error {
+			if int(fnv1a(rec)%4) != p {
+				t.Errorf("record %q found in wrong partition %d", rec, p)
+			}
+			total++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != writers*perWriter {
+		t.Errorf("read %d records, want %d", total, writers*perWriter)
+	}
+}
+
+func TestShuffleSpillsWithOneFilePerPartition(t *testing.T) {
+	// Shuffle data exceeding memory produces at most numPartitions spill
+	// files (one locality set per partition), not numCores×numPartitions.
+	bp := newPool(t, 256<<10)
+	sh, err := NewShuffle(bp, "s", 2, 32<<10, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := sh.Writer()
+	rec := make([]byte, 100)
+	for i := 0; i < 20000; i++ {
+		binary.LittleEndian.PutUint64(rec, uint64(i))
+		if err := bufs[i%2].Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = CloseWriters(bufs)
+	_ = sh.Close()
+	if bp.Stats().Spills.Load() == 0 {
+		t.Fatal("expected shuffle spills")
+	}
+	var count int
+	for p := 0; p < 2; p++ {
+		if err := sh.ReadPartition(p, 1, func([]byte) error { count++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 20000 {
+		t.Errorf("read back %d records, want 20000", count)
+	}
+}
+
+func TestHashBufferAggregatesInMemory(t *testing.T) {
+	bp := newPool(t, 4<<20)
+	s := mkSet(t, bp, "agg", 64<<10)
+	h, err := NewInt64HashBuffer(s, 4, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9000; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i%300))
+		if err := h.Upsert(key, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Attribute inference: hash service stamps random patterns.
+	if a := s.Attrs(); a.Writing != core.RandomMutableWrite || a.Reading != core.RandomRead {
+		t.Errorf("attrs = %+v, want random-mutable-write/random-read", a)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("distinct keys = %d, want 300", len(got))
+	}
+	for k, v := range got {
+		if v != 30 {
+			t.Errorf("%s = %d, want 30", k, v)
+		}
+	}
+}
+
+func TestHashBufferSpillsAndReAggregates(t *testing.T) {
+	// Many distinct keys force page splits and spills; Result must merge
+	// partial aggregates from spilled pages.
+	bp := newPool(t, 256<<10)
+	s := mkSet(t, bp, "agg", 16<<10)
+	h, err := NewInt64HashBuffer(s, 2, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const distinct = 8000
+	for round := 0; round < 2; round++ {
+		for i := 0; i < distinct; i++ {
+			if err := h.Upsert([]byte(fmt.Sprintf("k%06d", i)), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Stats().Spills.Load() == 0 {
+		t.Fatal("expected hash pages to spill")
+	}
+	got, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != distinct {
+		t.Fatalf("distinct keys = %d, want %d", len(got), distinct)
+	}
+	for k, v := range got {
+		if v != 2 {
+			t.Fatalf("%s = %d, want 2", k, v)
+		}
+	}
+}
+
+func TestHashBufferFindActivePage(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	s := mkSet(t, bp, "f", 32<<10)
+	h, _ := NewInt64HashBuffer(s, 1, Sum)
+	_ = h.Upsert([]byte("a"), 7)
+	_ = h.Upsert([]byte("a"), 5)
+	if v, ok := h.Find([]byte("a")); !ok || v != 12 {
+		t.Errorf("Find(a) = %d,%v want 12,true", v, ok)
+	}
+	if _, ok := h.Find([]byte("missing")); ok {
+		t.Error("Find(missing) should be false")
+	}
+	_ = h.Close()
+}
+
+func TestHashBufferPropertySumMatchesMap(t *testing.T) {
+	bp := newPool(t, 4<<20)
+	idx := 0
+	f := func(keys []uint8, vals []int16) bool {
+		idx++
+		s := mkSet(t, bp, fmt.Sprintf("prop-%d", idx), 32<<10)
+		h, err := NewInt64HashBuffer(s, 3, Sum)
+		if err != nil {
+			return false
+		}
+		want := make(map[string]int64)
+		for i, k := range keys {
+			v := int64(1)
+			if i < len(vals) {
+				v = int64(vals[i])
+			}
+			key := fmt.Sprintf("k%d", k)
+			want[key] += v
+			if err := h.Upsert([]byte(key), v); err != nil {
+				return false
+			}
+		}
+		if err := h.Close(); err != nil {
+			return false
+		}
+		got, err := h.Result()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		_ = bp.DropSet(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinMapProbe(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	s := mkSet(t, bp, "jm", 4096)
+	m := NewJoinMap(s)
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("k%02d", i%20))
+		if err := m.Insert(key, []byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Keys() != 20 || m.Len() != 200 {
+		t.Errorf("Keys=%d Len=%d, want 20, 200", m.Keys(), m.Len())
+	}
+	var hits int
+	if err := m.Probe([]byte("k03"), func(payload []byte) error {
+		hits++
+		var i int
+		if _, err := fmt.Sscanf(string(payload), "payload-%d", &i); err != nil {
+			return err
+		}
+		if i%20 != 3 {
+			t.Errorf("payload %q under wrong key", payload)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 10 {
+		t.Errorf("hits = %d, want 10", hits)
+	}
+	if err := m.Probe([]byte("absent"), func([]byte) error {
+		t.Error("probe of absent key must not call fn")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinMapProbeAfterSpill(t *testing.T) {
+	bp := newPool(t, 64<<10)
+	s := mkSet(t, bp, "jm", 8<<10)
+	m := NewJoinMap(s)
+	payload := make([]byte, 128)
+	for i := 0; i < 2000; i++ {
+		binary.LittleEndian.PutUint64(payload, uint64(i))
+		if err := m.Insert([]byte(fmt.Sprintf("key-%04d", i)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Stats().Spills.Load() == 0 {
+		t.Fatal("expected join map pages to spill")
+	}
+	for _, i := range []int{0, 517, 1999} {
+		var got uint64
+		var hits int
+		if err := m.Probe([]byte(fmt.Sprintf("key-%04d", i)), func(p []byte) error {
+			got = binary.LittleEndian.Uint64(p)
+			hits++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if hits != 1 || got != uint64(i) {
+			t.Errorf("probe %d: hits=%d got=%d", i, hits, got)
+		}
+	}
+}
+
+func TestBuildBroadcastMap(t *testing.T) {
+	bp := newPool(t, 1<<20)
+	src := mkSet(t, bp, "src", 4096)
+	var recs [][]byte
+	for i := 0; i < 100; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("%02d:value-%03d", i%10, i)))
+	}
+	if err := WriteAll(src, recs); err != nil {
+		t.Fatal(err)
+	}
+	dst := mkSet(t, bp, "bcast", 4096)
+	m, err := BuildBroadcastMap(src, dst, func(rec []byte) ([]byte, error) {
+		return rec[:2], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Keys() != 10 || m.Len() != 100 {
+		t.Errorf("Keys=%d Len=%d, want 10, 100", m.Keys(), m.Len())
+	}
+	var hits int
+	_ = m.Probe([]byte("07"), func(payload []byte) error { hits++; return nil })
+	if hits != 10 {
+		t.Errorf("hits = %d, want 10", hits)
+	}
+}
+
+func TestFnv1aDistribution(t *testing.T) {
+	buckets := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		buckets[fnv1a([]byte(fmt.Sprintf("key-%d", i)))%8]++
+	}
+	for b, c := range buckets {
+		if c < 700 || c > 1300 {
+			t.Errorf("bucket %d has %d keys; hash badly skewed", b, c)
+		}
+	}
+}

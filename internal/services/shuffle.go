@@ -1,0 +1,243 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+
+	"pangea/internal/core"
+)
+
+// DefaultSmallPageSize is the default size of the small pages the shuffle
+// service splits off a buffer-pool page — "several megabytes" in the paper;
+// configurable per shuffle for the MB-scale experiments here.
+const DefaultSmallPageSize = 1 << 20
+
+// ShuffleSink manages one shuffle partition's locality set: a secondary,
+// small-page allocator that pins a large buffer-pool page, splits it into
+// small pages, and hands those to concurrent writer threads so multiple
+// data streams for the same partition share one page (§8). The large page
+// is unpinned only after all of its small pages are fully written.
+type ShuffleSink struct {
+	set       *core.LocalitySet
+	smallSize int
+
+	mu         sync.Mutex
+	cur        *shufflePage
+	nextRegion int
+	perPage    int
+}
+
+type shufflePage struct {
+	p       *core.Page
+	refs    int  // small pages handed out and not yet released
+	retired bool // no further regions will be split from this page
+}
+
+// NewShuffleSink attaches a small-page allocator to the partition's set.
+// It stamps WritingPattern=concurrent-write, CurrentOperation=write.
+func NewShuffleSink(set *core.LocalitySet, smallPageSize int) (*ShuffleSink, error) {
+	if smallPageSize <= 0 {
+		smallPageSize = DefaultSmallPageSize
+	}
+	perPage := regionsPerPage(set.PageSize(), smallPageSize)
+	if perPage < 1 {
+		return nil, fmt.Errorf("services: small page size %d exceeds page size %d", smallPageSize, set.PageSize())
+	}
+	set.SetWriting(core.ConcurrentWrite)
+	set.SetCurrentOp(core.OpWrite)
+	return &ShuffleSink{set: set, smallSize: smallPageSize, perPage: perPage}, nil
+}
+
+// Set returns the partition's locality set.
+func (sk *ShuffleSink) Set() *core.LocalitySet { return sk.set }
+
+// acquireRegion splits the next small page off the current large page,
+// pinning a new large page when the current one is fully split.
+func (sk *ShuffleSink) acquireRegion() (*shufflePage, int, error) {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.cur == nil || sk.nextRegion >= sk.perPage {
+		if sk.cur != nil {
+			sk.cur.retired = true
+			if err := sk.maybeUnpinLocked(sk.cur); err != nil {
+				return nil, 0, err
+			}
+		}
+		p, err := sk.set.NewPage()
+		if err != nil {
+			return nil, 0, err
+		}
+		initPage(p.Bytes(), sk.smallSize)
+		sk.cur = &shufflePage{p: p}
+		sk.nextRegion = 0
+	}
+	off := pageHeaderSize + sk.nextRegion*sk.smallSize
+	sk.nextRegion++
+	sk.cur.refs++
+	return sk.cur, off, nil
+}
+
+// releaseRegion records that a small page is fully written.
+func (sk *ShuffleSink) releaseRegion(sp *shufflePage) error {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	sp.refs--
+	return sk.maybeUnpinLocked(sp)
+}
+
+// maybeUnpinLocked unpins a large page once it is retired and all of its
+// small pages are written.
+func (sk *ShuffleSink) maybeUnpinLocked(sp *shufflePage) error {
+	if sp.retired && sp.refs == 0 && sp.p != nil {
+		p := sp.p
+		sp.p = nil
+		return sk.set.Unpin(p, true)
+	}
+	return nil
+}
+
+// Close retires the current large page. Every VirtualShuffleBuffer drawing
+// from this sink must be closed first.
+func (sk *ShuffleSink) Close() error {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.cur != nil {
+		sk.cur.retired = true
+		if err := sk.maybeUnpinLocked(sk.cur); err != nil {
+			return err
+		}
+		sk.cur = nil
+	}
+	sk.set.SetCurrentOp(core.OpNone)
+	return nil
+}
+
+// VirtualShuffleBuffer gives one writer thread transparent access to small
+// pages of a partition (§8): it holds a pointer to the partition's
+// small-page allocator and the offset in the small page currently in use by
+// its thread. One buffer per (worker, partition).
+type VirtualShuffleBuffer struct {
+	sink *ShuffleSink
+	sp   *shufflePage
+	off  int
+	end  int
+	n    int64
+}
+
+// NewVirtualShuffleBuffer creates a writer-thread-local view of a sink.
+func NewVirtualShuffleBuffer(sink *ShuffleSink) *VirtualShuffleBuffer {
+	return &VirtualShuffleBuffer{sink: sink}
+}
+
+// Add appends one record to the partition.
+func (b *VirtualShuffleBuffer) Add(rec []byte) error {
+	if len(rec)+recHeaderSize > b.sink.smallSize {
+		return fmt.Errorf("services: record of %d bytes exceeds small page size %d", len(rec), b.sink.smallSize)
+	}
+	for {
+		if b.sp == nil {
+			sp, off, err := b.sink.acquireRegion()
+			if err != nil {
+				return err
+			}
+			b.sp, b.off, b.end = sp, off, off+b.sink.smallSize
+		}
+		next, ok := appendRecord(b.sp.p.Bytes(), b.off, b.end, rec)
+		if ok {
+			b.off = next
+			b.n++
+			return nil
+		}
+		sp := b.sp
+		b.sp = nil
+		if err := b.sink.releaseRegion(sp); err != nil {
+			return err
+		}
+	}
+}
+
+// Count returns the number of records this buffer has written.
+func (b *VirtualShuffleBuffer) Count() int64 { return b.n }
+
+// Close releases the buffer's current small page.
+func (b *VirtualShuffleBuffer) Close() error {
+	if b.sp == nil {
+		return nil
+	}
+	sp := b.sp
+	b.sp = nil
+	return b.sink.releaseRegion(sp)
+}
+
+// Shuffle is the full shuffle service: one sink (and hence one locality
+// set) per partition, so that spilled shuffle data produces at most
+// numPartitions files instead of Spark's numCores × numPartitions (§9.2.2).
+type Shuffle struct {
+	sinks []*ShuffleSink
+}
+
+// NewShuffle creates one locality set per partition in the pool, named
+// prefix-<partition>.
+func NewShuffle(bp *core.BufferPool, prefix string, partitions int, pageSize int64, smallPageSize int) (*Shuffle, error) {
+	sh := &Shuffle{}
+	for i := 0; i < partitions; i++ {
+		set, err := bp.CreateSet(core.SetSpec{
+			Name:     fmt.Sprintf("%s-%d", prefix, i),
+			PageSize: pageSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sink, err := NewShuffleSink(set, smallPageSize)
+		if err != nil {
+			return nil, err
+		}
+		sh.sinks = append(sh.sinks, sink)
+	}
+	return sh, nil
+}
+
+// Partitions returns the number of shuffle partitions.
+func (sh *Shuffle) Partitions() int { return len(sh.sinks) }
+
+// Sink returns the sink for one partition.
+func (sh *Shuffle) Sink(partition int) *ShuffleSink { return sh.sinks[partition] }
+
+// Writer returns a per-thread set of virtual shuffle buffers, one per
+// partition.
+func (sh *Shuffle) Writer() []*VirtualShuffleBuffer {
+	out := make([]*VirtualShuffleBuffer, len(sh.sinks))
+	for i, sk := range sh.sinks {
+		out[i] = NewVirtualShuffleBuffer(sk)
+	}
+	return out
+}
+
+// CloseWriters closes a thread's buffers.
+func CloseWriters(bufs []*VirtualShuffleBuffer) error {
+	var first error
+	for _, b := range bufs {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close retires all sinks; call after every writer thread has closed its
+// buffers.
+func (sh *Shuffle) Close() error {
+	var first error
+	for _, sk := range sh.sinks {
+		if err := sk.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReadPartition scans one partition's records with numThreads workers via
+// the sequential read service.
+func (sh *Shuffle) ReadPartition(partition, numThreads int, fn func(rec []byte) error) error {
+	return ScanSet(sh.sinks[partition].set, numThreads, func(_ int, rec []byte) error { return fn(rec) })
+}

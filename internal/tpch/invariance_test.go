@@ -1,0 +1,86 @@
+package tpch
+
+import (
+	"testing"
+)
+
+// TestDistributionInvariance: query answers are identical on 1-node and
+// 4-node deployments and independent of replica usage — the fundamental
+// correctness property of the data placement and query scheduling layers.
+func TestDistributionInvariance(t *testing.T) {
+	d := Generate(0.0015, 77)
+	want := map[string]Result{}
+	for _, q := range QueryNames {
+		res, err := Reference(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res
+	}
+	for _, nodes := range []int{1, 4} {
+		e := startExec(t, nodes)
+		if err := Load(e, d, 128<<10); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BuildReplicas(e, 128<<10); err != nil {
+			t.Fatal(err)
+		}
+		r := NewRunner(e, 2, true)
+		for _, q := range QueryNames {
+			got, err := r.Run(q)
+			if err != nil {
+				t.Fatalf("%d nodes %s: %v", nodes, q, err)
+			}
+			if err := ResultsEqual(want[q], got, 1e-9); err != nil {
+				t.Errorf("%d nodes %s: %v", nodes, q, err)
+			}
+		}
+	}
+}
+
+// TestQueriesUnderMemoryPressure: the replica-mode plans stay correct when
+// worker pools are small enough to force spilling mid-query.
+func TestQueriesUnderMemoryPressure(t *testing.T) {
+	d := Generate(0.002, 13)
+	e := startExecMem(t, 2, 1<<20) // 1 MiB pools vs ~700 KiB of data
+	if err := Load(e, d, 32<<10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildReplicas(e, 32<<10); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(e, 2, true)
+	r.PageSize = 32 << 10
+	for _, q := range QueryNames {
+		want, err := Reference(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Run(q)
+		if err != nil {
+			t.Fatalf("%s under pressure: %v", q, err)
+		}
+		if err := ResultsEqual(want, got, 1e-9); err != nil {
+			t.Errorf("%s under pressure: %v", q, err)
+		}
+	}
+	var evictions int64
+	for _, w := range e.Workers {
+		evictions += w.Pool().Stats().Evictions.Load()
+	}
+	if evictions == 0 {
+		t.Error("expected evictions; raise the data size or shrink the pools")
+	}
+}
+
+// TestRunUnknownQuery rejects bad names.
+func TestRunUnknownQuery(t *testing.T) {
+	e := startExec(t, 1)
+	r := NewRunner(e, 1, true)
+	if _, err := r.Run("Q99"); err == nil {
+		t.Error("unknown query must error")
+	}
+	if _, err := Reference("Q99", Generate(0.0005, 1)); err == nil {
+		t.Error("unknown reference must error")
+	}
+}

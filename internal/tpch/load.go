@@ -1,0 +1,101 @@
+package tpch
+
+import (
+	"fmt"
+
+	"pangea/internal/core"
+	"pangea/internal/placement"
+	"pangea/internal/query"
+)
+
+// Table names as created in the deployment.
+var TableNames = []string{"lineitem", "orders", "customer", "part", "supplier", "partsupp"}
+
+// Replica partition schemes the paper registers (§9.1.2): lineitem is
+// partitioned by l_orderkey and l_partkey, orders by o_orderkey and
+// o_custkey; Q17's plan additionally uses a part replica partitioned by
+// p_partkey.
+const (
+	SchemeLOrderKey = "hash(l_orderkey)"
+	SchemeLPartKey  = "hash(l_partkey)"
+	SchemeOOrderKey = "hash(o_orderkey)"
+	SchemeOCustKey  = "hash(o_custkey)"
+	SchemePPartKey  = "hash(p_partkey)"
+)
+
+// Load creates the six TPC-H source sets across the deployment and
+// dispatches the generated rows randomly — the paper's "randomly dispatched
+// set".
+func Load(e *query.Executor, d *Data, pageSize int64) error {
+	tables := map[string][][]byte{
+		"lineitem": d.Lineitem,
+		"orders":   d.Orders,
+		"customer": d.Customer,
+		"part":     d.Part,
+		"supplier": d.Supplier,
+		"partsupp": d.PartSupp,
+	}
+	for _, name := range TableNames {
+		if err := e.Client.CreateSet(name, pageSize, uint8(core.WriteBack)); err != nil {
+			return fmt.Errorf("tpch: create %s: %w", name, err)
+		}
+		if err := placement.DispatchRandom(e.Client, e.Addrs, name, tables[name]); err != nil {
+			return fmt.Errorf("tpch: load %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// partitioners returns the replica partitioners for one deployment size.
+// NumPartitions is fixed per deployment so that two replicas built with the
+// same key layout are co-partitioned node-by-node.
+func partitioners(numNodes int) map[string]map[string]*placement.Partitioner {
+	np := numNodes * 4
+	key := func(f func([]byte) []byte) placement.KeyFunc {
+		return func(rec []byte) ([]byte, error) { return f(rec), nil }
+	}
+	return map[string]map[string]*placement.Partitioner{
+		"lineitem": {
+			SchemeLOrderKey: {Scheme: SchemeLOrderKey, NumPartitions: np, Key: key(LOrderKey)},
+			SchemeLPartKey:  {Scheme: SchemeLPartKey, NumPartitions: np, Key: key(LPartKey)},
+		},
+		"orders": {
+			SchemeOOrderKey: {Scheme: SchemeOOrderKey, NumPartitions: np, Key: key(OOrderKey)},
+			SchemeOCustKey:  {Scheme: SchemeOCustKey, NumPartitions: np, Key: key(OCustKey)},
+		},
+		"part": {
+			SchemePPartKey: {Scheme: SchemePPartKey, NumPartitions: np, Key: key(PPartKey)},
+		},
+	}
+}
+
+// BuildReplicas builds and registers the paper's heterogeneous replicas and
+// returns the replication groups (for the recovery experiment).
+func BuildReplicas(e *query.Executor, pageSize int64) (map[string]*placement.Group, error) {
+	groups := make(map[string]*placement.Group)
+	for table, schemes := range partitioners(len(e.Workers)) {
+		var parts []*placement.Partitioner
+		for _, scheme := range replicaOrder(table) {
+			parts = append(parts, schemes[scheme])
+		}
+		g, err := placement.BuildGroup(e.Client, e.Addrs, table, parts, pageSize)
+		if err != nil {
+			return nil, fmt.Errorf("tpch: build replicas of %s: %w", table, err)
+		}
+		groups[table] = g
+	}
+	return groups, nil
+}
+
+// replicaOrder pins a deterministic replica build order per table.
+func replicaOrder(table string) []string {
+	switch table {
+	case "lineitem":
+		return []string{SchemeLOrderKey, SchemeLPartKey}
+	case "orders":
+		return []string{SchemeOOrderKey, SchemeOCustKey}
+	case "part":
+		return []string{SchemePPartKey}
+	}
+	return nil
+}

@@ -1,0 +1,738 @@
+package tpch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pangea/internal/cluster"
+	"pangea/internal/core"
+	"pangea/internal/query"
+	"pangea/internal/services"
+)
+
+// Runner executes the nine benchmark queries over a loaded deployment.
+// With UseReplicas set, the query scheduler consults the statistics service
+// and picks the co-partitioned replica for each join, so joins pipeline
+// locally with no repartition (the Pangea plan of §9.1.2). Without it, every
+// join input is repartitioned at runtime through a shuffle — the plan a
+// Spark application is forced into when loading from HDFS.
+type Runner struct {
+	E           *query.Executor
+	Threads     int
+	UseReplicas bool
+	PageSize    int64
+
+	seq atomic.Int64
+}
+
+// NewRunner builds a query runner.
+func NewRunner(e *query.Executor, threads int, useReplicas bool) *Runner {
+	if threads < 1 {
+		threads = 2
+	}
+	return &Runner{E: e, Threads: threads, UseReplicas: useReplicas, PageSize: 256 << 10}
+}
+
+// Run dispatches a query by name.
+func (r *Runner) Run(q string) (Result, error) {
+	switch q {
+	case "Q01":
+		return r.Q01()
+	case "Q02":
+		return r.Q02()
+	case "Q04":
+		return r.Q04()
+	case "Q06":
+		return r.Q06()
+	case "Q12":
+		return r.Q12()
+	case "Q13":
+		return r.Q13()
+	case "Q14":
+		return r.Q14()
+	case "Q17":
+		return r.Q17()
+	case "Q22":
+		return r.Q22()
+	}
+	return nil, fmt.Errorf("tpch: unknown query %q", q)
+}
+
+// scan streams one node's partition of a set.
+func (r *Runner) scan(node int, set string) query.Iter {
+	return func(emit func(query.Row) error) error {
+		s, err := r.E.Set(node, set)
+		if err != nil {
+			return err
+		}
+		return query.Scan(s, r.Threads)(emit)
+	}
+}
+
+// tempName mints a unique temp set name.
+func (r *Runner) tempName(tag string) string {
+	return fmt.Sprintf("tmp-%s-%d", tag, r.seq.Add(1))
+}
+
+// input resolves a join input: in replica mode the statistics service
+// supplies the replica partitioned under scheme; otherwise the (filtered)
+// source is repartitioned at runtime onto a temp set — the shuffle a
+// layered engine cannot avoid. cleanup drops any temp set.
+func (r *Runner) input(table, scheme string, key func(query.Row) []byte, filter func(query.Iter) query.Iter) (string, func(), error) {
+	if r.UseReplicas {
+		if set, ok := r.E.ChooseReplica(table, scheme); ok {
+			return set, func() {}, nil
+		}
+	}
+	tmp := r.tempName(table)
+	src := func(node int) query.Iter {
+		it := r.scan(node, table)
+		if filter != nil {
+			it = filter(it)
+		}
+		return it
+	}
+	if err := r.E.Exchange(tmp, src, key, r.PageSize); err != nil {
+		return "", nil, err
+	}
+	return tmp, func() { r.E.DropEverywhere(tmp) }, nil
+}
+
+// --- aggregation plumbing ---------------------------------------------------
+
+// f64Spec builds an AggSpec whose accumulator is a vector of n float64s
+// combined element-wise with +.
+func f64Spec(n int, key func(query.Row) []byte, init func(query.Row, []float64)) query.AggSpec {
+	return query.AggSpec{
+		Key:     key,
+		ValSize: 8 * n,
+		Init: func(row query.Row, val []byte) {
+			v := make([]float64, n)
+			init(row, v)
+			for i, x := range v {
+				putF64(val[8*i:], x)
+			}
+		},
+		Combine: func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				putF64(dst[8*i:], getF64(dst[8*i:])+getF64(src[8*i:]))
+			}
+		},
+	}
+}
+
+// decodeF64s converts an aggregated byte map into a Result.
+func decodeF64s(m map[string][]byte) Result {
+	out := Result{}
+	for k, v := range m {
+		fs := make([]float64, len(v)/8)
+		for i := range fs {
+			fs[i] = getF64(v[8*i:])
+		}
+		out[k] = fs
+	}
+	return out
+}
+
+var starKey = []byte("*")
+
+// --- joins: per-node build helpers ------------------------------------------
+
+// buildMap constructs a node-local join map from a pipeline. The caller
+// must drop the returned set when done probing.
+func (r *Runner) buildMap(node int, tag string, in query.Iter, key func(query.Row) []byte) (*joinHandle, error) {
+	w := r.E.Workers[node]
+	set, err := w.Pool().CreateSet(core.SetSpec{Name: r.tempName(tag), PageSize: r.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	m, err := query.BuildPartitionedMap(in, set, key)
+	if err != nil {
+		_ = w.Pool().DropSet(set)
+		return nil, err
+	}
+	return &joinHandle{m: m, set: set, pool: w.Pool()}, nil
+}
+
+type joinHandle struct {
+	m    *services.JoinMap
+	set  *core.LocalitySet
+	pool *core.BufferPool
+}
+
+func (h *joinHandle) drop() { _ = h.pool.DropSet(h.set) }
+
+// --- Q01: pricing summary report -------------------------------------------
+
+// Q01 scans lineitem with a date filter and aggregates five metrics by
+// (returnflag, linestatus). No join: both modes share the plan.
+func (r *Runner) Q01() (Result, error) {
+	spec := f64Spec(5,
+		func(row query.Row) []byte { return row[56:58] }, // returnflag, linestatus
+		func(row query.Row, v []float64) {
+			l := DecodeLineitem(row)
+			disc := l.ExtendedPrice * (1 - l.Discount)
+			v[0] = float64(l.Quantity)
+			v[1] = l.ExtendedPrice
+			v[2] = disc
+			v[3] = disc * (1 + l.Tax)
+			v[4] = 1
+		})
+	m, err := r.E.DistributedAggregate("q01", func(node int) query.Iter {
+		return query.Filter(r.scan(node, "lineitem"), func(row query.Row) bool {
+			return LShipDate(row) <= Q01Cutoff
+		})
+	}, spec)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64s(m), nil
+}
+
+// --- Q02: minimum cost supplier ---------------------------------------------
+
+// Q02 broadcasts the small part and supplier tables, then makes two
+// distributed passes over partsupp: one to find each wanted part's minimum
+// supply cost in the region, one to count the pairs achieving it.
+func (r *Runner) Q02() (Result, error) {
+	partB, suppB := r.tempName("q02part"), r.tempName("q02supp")
+	if err := r.E.Broadcast("part", partB, r.PageSize); err != nil {
+		return nil, err
+	}
+	defer r.E.DropEverywhere(partB)
+	if err := r.E.Broadcast("supplier", suppB, r.PageSize); err != nil {
+		return nil, err
+	}
+	defer r.E.DropEverywhere(suppB)
+
+	// Per-node dimension maps (broadcast map service).
+	type dims struct {
+		wanted map[uint64]bool
+		nation map[uint64]byte
+		bal    map[uint64]float64
+	}
+	nodeDims := make([]dims, len(r.E.Workers))
+	buildDims := func(node int) (dims, error) {
+		d := dims{wanted: map[uint64]bool{}, nation: map[uint64]byte{}, bal: map[uint64]float64{}}
+		if err := r.scan(node, partB)(func(row query.Row) error {
+			p := DecodePart(row)
+			if p.Size == Q02Size && p.TypeSuffix == TypeSuffixBrass {
+				d.wanted[p.PartKey] = true
+			}
+			return nil
+		}); err != nil {
+			return d, err
+		}
+		if err := r.scan(node, suppB)(func(row query.Row) error {
+			s := DecodeSupplier(row)
+			d.nation[s.SuppKey] = s.NationKey
+			d.bal[s.SuppKey] = s.AcctBal
+			return nil
+		}); err != nil {
+			return d, err
+		}
+		return d, nil
+	}
+
+	// Pass 1: minimum supply cost per wanted part, min-combined.
+	minSpec := query.AggSpec{
+		Key:     func(row query.Row) []byte { return PsPartKey(row) },
+		ValSize: 8,
+		Init: func(row query.Row, val []byte) {
+			putF64(val, DecodePartSupp(row).SupplyCost)
+		},
+		Combine: func(dst, src []byte) {
+			if getF64(src) < getF64(dst) {
+				putF64(dst, getF64(src))
+			}
+		},
+	}
+	minRaw, err := r.E.DistributedAggregate("q02min", func(node int) query.Iter {
+		return func(emit func(query.Row) error) error {
+			d, err := buildDims(node)
+			if err != nil {
+				return err
+			}
+			nodeDims[node] = d
+			return query.Filter(r.scan(node, "partsupp"), func(row query.Row) bool {
+				ps := DecodePartSupp(row)
+				return d.wanted[ps.PartKey] && NationRegion(d.nation[ps.SuppKey]) == Q02Region
+			})(emit)
+		}
+	}, minSpec)
+	if err != nil {
+		return nil, err
+	}
+	minCost := make(map[uint64]float64, len(minRaw))
+	for k, v := range minRaw {
+		minCost[le.Uint64([]byte(k))] = getF64(v)
+	}
+
+	// Pass 2: count pairs at the minimum and sum supplier balances.
+	out := Result{"*": {0, 0}}
+	var mu sync.Mutex
+	err = r.E.Parallel(func(node int, _ *cluster.Worker) error {
+		d := nodeDims[node]
+		var rows, bal float64
+		err := r.scan(node, "partsupp")(func(row query.Row) error {
+			ps := DecodePartSupp(row)
+			c, ok := minCost[ps.PartKey]
+			if !ok || ps.SupplyCost != c {
+				return nil
+			}
+			if NationRegion(d.nation[ps.SuppKey]) != Q02Region {
+				return nil
+			}
+			rows++
+			bal += d.bal[ps.SuppKey]
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out["*"][0] += rows
+		out["*"][1] += bal
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- Q04: order priority checking -------------------------------------------
+
+// Q04 semi-joins date-filtered orders with late lineitems on orderkey. With
+// the o_orderkey/l_orderkey replicas the join is node-local; otherwise both
+// inputs are repartitioned first.
+func (r *Runner) Q04() (Result, error) {
+	liSet, liClean, err := r.input("lineitem", SchemeLOrderKey,
+		func(row query.Row) []byte { return LOrderKey(row) },
+		func(in query.Iter) query.Iter {
+			return query.Filter(in, func(row query.Row) bool {
+				l := DecodeLineitem(row)
+				return l.CommitDate < l.ReceiptDate
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+	defer liClean()
+	ordSet, ordClean, err := r.input("orders", SchemeOOrderKey,
+		func(row query.Row) []byte { return OOrderKey(row) },
+		func(in query.Iter) query.Iter {
+			return query.Filter(in, func(row query.Row) bool {
+				d := OOrderDate(row)
+				return d >= Q04Lo && d < Q04Hi
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+	defer ordClean()
+
+	spec := f64Spec(1,
+		func(row query.Row) []byte { return []byte(OrderPriorityName(row[19])) },
+		func(query.Row, []float64) {})
+	spec2 := spec
+	spec2.Init = func(row query.Row, val []byte) { putF64(val, 1) }
+
+	m, err := r.E.DistributedAggregate("q04", func(node int) query.Iter {
+		return func(emit func(query.Row) error) error {
+			h, err := r.buildMap(node, "q04map",
+				query.Filter(r.scan(node, liSet), func(row query.Row) bool {
+					l := DecodeLineitem(row)
+					return l.CommitDate < l.ReceiptDate
+				}),
+				func(row query.Row) []byte { return LOrderKey(row) })
+			if err != nil {
+				return err
+			}
+			defer h.drop()
+			probe := query.Filter(r.scan(node, ordSet), func(row query.Row) bool {
+				d := OOrderDate(row)
+				return d >= Q04Lo && d < Q04Hi
+			})
+			return query.SemiJoin(probe, h.m, func(row query.Row) []byte { return OOrderKey(row) })(emit)
+		}
+	}, spec2)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64s(m), nil
+}
+
+// --- Q06: forecasting revenue change -----------------------------------------
+
+// Q06 is a pure filter + sum over lineitem.
+func (r *Runner) Q06() (Result, error) {
+	spec := f64Spec(1, func(query.Row) []byte { return starKey },
+		func(row query.Row, v []float64) {
+			v[0] = LExtendedPrice(row) * LDiscount(row)
+		})
+	m, err := r.E.DistributedAggregate("q06", func(node int) query.Iter {
+		return query.Filter(r.scan(node, "lineitem"), func(row query.Row) bool {
+			d := LShipDate(row)
+			disc := LDiscount(row)
+			return d >= Q06Lo && d < Q06Hi &&
+				disc >= 0.05-1e-9 && disc <= 0.07+1e-9 &&
+				LQuantity(row) < 24
+		})
+	}, spec)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64s(m), nil
+}
+
+// --- Q12: shipping modes and order priority ----------------------------------
+
+// Q12 joins filtered lineitems with orders on orderkey and counts
+// high/low-priority lines per shipmode.
+func (r *Runner) Q12() (Result, error) {
+	liFilter := func(in query.Iter) query.Iter {
+		return query.Filter(in, func(row query.Row) bool {
+			l := DecodeLineitem(row)
+			if l.ShipMode != Q12ModeA && l.ShipMode != Q12ModeB {
+				return false
+			}
+			return l.CommitDate < l.ReceiptDate && l.ShipDate < l.CommitDate &&
+				l.ReceiptDate >= Q12Lo && l.ReceiptDate < Q12Hi
+		})
+	}
+	liSet, liClean, err := r.input("lineitem", SchemeLOrderKey,
+		func(row query.Row) []byte { return LOrderKey(row) }, liFilter)
+	if err != nil {
+		return nil, err
+	}
+	defer liClean()
+	ordSet, ordClean, err := r.input("orders", SchemeOOrderKey,
+		func(row query.Row) []byte { return OOrderKey(row) }, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ordClean()
+
+	// Joined rows are [shipmode byte, highPriority byte].
+	spec := f64Spec(2,
+		func(row query.Row) []byte { return []byte(ShipModeName(row[0])) },
+		func(row query.Row, v []float64) {
+			if row[1] == 1 {
+				v[0] = 1
+			} else {
+				v[1] = 1
+			}
+		})
+	m, err := r.E.DistributedAggregate("q12", func(node int) query.Iter {
+		return func(emit func(query.Row) error) error {
+			h, err := r.buildMap(node, "q12map", liFilter(r.scan(node, liSet)),
+				func(row query.Row) []byte { return LOrderKey(row) })
+			if err != nil {
+				return err
+			}
+			defer h.drop()
+			joined := query.HashJoin(r.scan(node, ordSet), h.m,
+				func(row query.Row) []byte { return OOrderKey(row) },
+				func(ord, li query.Row) query.Row {
+					out := make(query.Row, 2)
+					out[0] = li[64] // shipmode
+					if p := ord[19]; p == 0 || p == 1 {
+						out[1] = 1
+					}
+					return out
+				})
+			return joined(emit)
+		}
+	}, spec)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64s(m), nil
+}
+
+// --- Q13: customer distribution ----------------------------------------------
+
+// Q13 counts non-special orders per customer on the o_custkey organization,
+// then histograms customers by order count (including zero).
+func (r *Runner) Q13() (Result, error) {
+	ordSet, ordClean, err := r.input("orders", SchemeOCustKey,
+		func(row query.Row) []byte { return OCustKey(row) },
+		func(in query.Iter) query.Iter {
+			return query.Filter(in, func(row query.Row) bool { return row[28] == 0 })
+		})
+	if err != nil {
+		return nil, err
+	}
+	defer ordClean()
+
+	spec := f64Spec(1, func(row query.Row) []byte { return OCustKey(row) },
+		func(row query.Row, v []float64) { v[0] = 1 })
+	counts, err := r.E.DistributedAggregate("q13", func(node int) query.Iter {
+		return query.Filter(r.scan(node, ordSet), func(row query.Row) bool { return row[28] == 0 })
+	}, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	var totalCustomers int64
+	var mu sync.Mutex
+	err = r.E.Parallel(func(node int, _ *cluster.Worker) error {
+		n, err := query.Count(r.scan(node, "customer"))
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		totalCustomers += n
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	hist := make(map[int]float64)
+	for _, v := range counts {
+		hist[int(getF64(v))]++
+	}
+	hist[0] += float64(totalCustomers - int64(len(counts)))
+	if hist[0] == 0 {
+		delete(hist, 0)
+	}
+	out := Result{}
+	for cnt, n := range hist {
+		out[fmt.Sprintf("%d", cnt)] = []float64{n}
+	}
+	return out, nil
+}
+
+// --- Q14: promotion effect ----------------------------------------------------
+
+// Q14 joins one ship-month of lineitem with part on partkey and computes
+// the promo revenue share.
+func (r *Runner) Q14() (Result, error) {
+	liFilter := func(in query.Iter) query.Iter {
+		return query.Filter(in, func(row query.Row) bool {
+			d := LShipDate(row)
+			return d >= Q14Lo && d < Q14Hi
+		})
+	}
+	liSet, liClean, err := r.input("lineitem", SchemeLPartKey,
+		func(row query.Row) []byte { return LPartKey(row) }, liFilter)
+	if err != nil {
+		return nil, err
+	}
+	defer liClean()
+	partSet, partClean, err := r.input("part", SchemePPartKey,
+		func(row query.Row) []byte { return PPartKey(row) }, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer partClean()
+
+	spec := f64Spec(2, func(query.Row) []byte { return starKey },
+		func(row query.Row, v []float64) {
+			rev := getF64(row[1:9])
+			v[1] = rev
+			if row[0] == 1 {
+				v[0] = rev
+			}
+		})
+	m, err := r.E.DistributedAggregate("q14", func(node int) query.Iter {
+		return func(emit func(query.Row) error) error {
+			h, err := r.buildMap(node, "q14map", r.scan(node, partSet),
+				func(row query.Row) []byte { return PPartKey(row) })
+			if err != nil {
+				return err
+			}
+			defer h.drop()
+			joined := query.HashJoin(liFilter(r.scan(node, liSet)), h.m,
+				func(row query.Row) []byte { return LPartKey(row) },
+				func(li, part query.Row) query.Row {
+					out := make(query.Row, 9)
+					out[0] = part[10] // promo flag
+					l := DecodeLineitem(li)
+					putF64(out[1:9], l.ExtendedPrice*(1-l.Discount))
+					return out
+				})
+			return joined(emit)
+		}
+	}, spec)
+	if err != nil {
+		return nil, err
+	}
+	res := decodeF64s(m)
+	v := res["*"]
+	if v == nil || v[1] == 0 {
+		return Result{"*": {0}}, nil
+	}
+	return Result{"*": {100 * v[0] / v[1]}}, nil
+}
+
+// --- Q17: small-quantity-order revenue ----------------------------------------
+
+// Q17 needs each part's average lineitem quantity, which is node-local on
+// the l_partkey organization: two local passes over lineitem plus a local
+// part map, no data movement at all in replica mode.
+func (r *Runner) Q17() (Result, error) {
+	liSet, liClean, err := r.input("lineitem", SchemeLPartKey,
+		func(row query.Row) []byte { return LPartKey(row) }, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer liClean()
+	partSet, partClean, err := r.input("part", SchemePPartKey,
+		func(row query.Row) []byte { return PPartKey(row) }, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer partClean()
+
+	spec := f64Spec(1, func(query.Row) []byte { return starKey },
+		func(row query.Row, v []float64) { v[0] = getF64(row) })
+	m, err := r.E.DistributedAggregate("q17", func(node int) query.Iter {
+		return func(emit func(query.Row) error) error {
+			// Local pass 1: average quantity per partkey through the hash
+			// service (exact under partkey co-partitioning).
+			w := r.E.Workers[node]
+			aggSet, err := w.Pool().CreateSet(core.SetSpec{Name: r.tempName("q17avg"), PageSize: r.PageSize})
+			if err != nil {
+				return err
+			}
+			defer func() { _ = w.Pool().DropSet(aggSet) }()
+			avgSpec := f64Spec(2, func(row query.Row) []byte { return LPartKey(row) },
+				func(row query.Row, v []float64) {
+					v[0] = float64(LQuantity(row))
+					v[1] = 1
+				})
+			h, err := query.LocalAggregate(r.scan(node, liSet), aggSet, 8, avgSpec)
+			if err != nil {
+				return err
+			}
+			// Merge partials (keys may repeat across spilled pages).
+			qtySum := make(map[uint64]float64)
+			qtyCnt := make(map[uint64]float64)
+			if err := h.Walk(func(key, val []byte) error {
+				pk := le.Uint64(key)
+				qtySum[pk] += getF64(val[0:8])
+				qtyCnt[pk] += getF64(val[8:16])
+				return nil
+			}); err != nil {
+				return err
+			}
+
+			// Local part filter (brand + container).
+			wanted := make(map[uint64]bool)
+			if err := r.scan(node, partSet)(func(row query.Row) error {
+				p := DecodePart(row)
+				if p.Brand == Q17Brand && p.Container == Q17Container {
+					wanted[p.PartKey] = true
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+
+			// Local pass 2: sum prices of small-quantity lines.
+			return r.scan(node, liSet)(func(row query.Row) error {
+				l := DecodeLineitem(row)
+				if !wanted[l.PartKey] {
+					return nil
+				}
+				avg := qtySum[l.PartKey] / qtyCnt[l.PartKey]
+				if float64(l.Quantity) >= 0.2*avg {
+					return nil
+				}
+				out := make(query.Row, 8)
+				putF64(out, l.ExtendedPrice)
+				return emit(out)
+			})
+		}
+	}, spec)
+	if err != nil {
+		return nil, err
+	}
+	res := decodeF64s(m)
+	v := res["*"]
+	if v == nil {
+		return Result{"*": {0}}, nil
+	}
+	return Result{"*": {v[0] / 7.0}}, nil
+}
+
+// --- Q22: global sales opportunity ---------------------------------------------
+
+// Q22 anti-joins qualifying customers with orders on custkey.
+func (r *Runner) Q22() (Result, error) {
+	// Pass 1: average positive balance of customers in the seven codes.
+	avgSpec := f64Spec(2, func(query.Row) []byte { return starKey },
+		func(row query.Row, v []float64) {
+			c := DecodeCustomer(row)
+			v[0] = c.AcctBal
+			v[1] = 1
+		})
+	avgRaw, err := r.E.DistributedAggregate("q22avg", func(node int) query.Iter {
+		return query.Filter(r.scan(node, "customer"), func(row query.Row) bool {
+			c := DecodeCustomer(row)
+			return q22CodeIn(c.PhoneCode) && c.AcctBal > 0
+		})
+	}, avgSpec)
+	if err != nil {
+		return nil, err
+	}
+	v := avgRaw["*"]
+	if v == nil || getF64(v[8:]) == 0 {
+		return Result{}, nil
+	}
+	avg := getF64(v[0:8]) / getF64(v[8:16])
+
+	// Orders organized by custkey (replica or runtime exchange).
+	ordSet, ordClean, err := r.input("orders", SchemeOCustKey,
+		func(row query.Row) []byte { return OCustKey(row) }, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ordClean()
+	// Customers must be co-partitioned with the orders organization; the
+	// customer table has no registered replica, so both modes exchange it
+	// (it is an order of magnitude smaller than orders).
+	custSet := r.tempName("q22cust")
+	if err := r.E.Exchange(custSet, func(node int) query.Iter {
+		return query.Filter(r.scan(node, "customer"), func(row query.Row) bool {
+			c := DecodeCustomer(row)
+			return q22CodeIn(c.PhoneCode) && c.AcctBal > avg
+		})
+	}, func(row query.Row) []byte { return CCustKey(row) }, r.PageSize); err != nil {
+		return nil, err
+	}
+	defer r.E.DropEverywhere(custSet)
+
+	spec := f64Spec(2,
+		func(row query.Row) []byte {
+			c := DecodeCustomer(row)
+			return []byte(fmt.Sprintf("%d", c.PhoneCode))
+		},
+		func(row query.Row, v []float64) {
+			v[0] = 1
+			v[1] = DecodeCustomer(row).AcctBal
+		})
+	m, err := r.E.DistributedAggregate("q22", func(node int) query.Iter {
+		return func(emit func(query.Row) error) error {
+			h, err := r.buildMap(node, "q22map", r.scan(node, ordSet),
+				func(row query.Row) []byte { return OCustKey(row) })
+			if err != nil {
+				return err
+			}
+			defer h.drop()
+			anti := query.AntiJoin(r.scan(node, custSet), h.m,
+				func(row query.Row) []byte { return CCustKey(row) })
+			return anti(emit)
+		}
+	}, spec)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64s(m), nil
+}

@@ -1,0 +1,361 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result is a query result: one metric vector per group key. Single-row
+// queries use the key "*".
+type Result map[string][]float64
+
+// ResultsEqual compares two results within a relative tolerance.
+func ResultsEqual(a, b Result, tol float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("tpch: result sizes differ: %d vs %d", len(a), len(b))
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			return fmt.Errorf("tpch: key %q missing", k)
+		}
+		if len(va) != len(vb) {
+			return fmt.Errorf("tpch: key %q metric counts differ: %d vs %d", k, len(va), len(vb))
+		}
+		for i := range va {
+			d := math.Abs(va[i] - vb[i])
+			scale := math.Max(math.Abs(va[i]), math.Abs(vb[i]))
+			if scale < 1 {
+				scale = 1
+			}
+			if d/scale > tol {
+				return fmt.Errorf("tpch: key %q metric %d: %v vs %v", k, i, va[i], vb[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Query parameter constants shared by the reference and Pangea plans so the
+// two compute identical results.
+var (
+	// Q01: l_shipdate <= date '1998-12-01' - 90 days.
+	Q01Cutoff = Date(1998, 9, 2)
+	// Q02: p_size = 15, p_type like '%BRASS', region EUROPE (regionkey 3).
+	Q02Size   = byte(15)
+	Q02Region = byte(3)
+	// Q04: o_orderdate in [1993-07-01, 1993-10-01).
+	Q04Lo, Q04Hi = Date(1993, 7, 1), Date(1993, 10, 1)
+	// Q06: shipdate in 1994, discount in [0.05, 0.07], quantity < 24.
+	Q06Lo, Q06Hi = Date(1994, 1, 1), Date(1995, 1, 1)
+	// Q12: shipmodes MAIL and SHIP, receiptdate in 1994.
+	Q12ModeA, Q12ModeB = byte(ShipModeMail), byte(ShipModeShip)
+	Q12Lo, Q12Hi       = Date(1994, 1, 1), Date(1995, 1, 1)
+	// Q14: shipdate in [1995-09-01, 1995-10-01).
+	Q14Lo, Q14Hi = Date(1995, 9, 1), Date(1995, 10, 1)
+	// Q17: brand 12, container 7.
+	Q17Brand, Q17Container = byte(12), byte(7)
+	// Q22: the seven phone country codes.
+	Q22Codes = []uint16{13, 31, 23, 29, 30, 18, 17}
+)
+
+func q22CodeIn(code uint16) bool {
+	for _, c := range Q22Codes {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}
+
+// RefQ01 is the in-memory reference for TPC-H Q01 (pricing summary).
+// Metrics per (returnflag, linestatus): sum_qty, sum_base_price,
+// sum_disc_price, sum_charge, count.
+func RefQ01(d *Data) Result {
+	out := Result{}
+	for _, rec := range d.Lineitem {
+		l := DecodeLineitem(rec)
+		if l.ShipDate > Q01Cutoff {
+			continue
+		}
+		k := string([]byte{l.ReturnFlag, l.LineStatus})
+		m := out[k]
+		if m == nil {
+			m = make([]float64, 5)
+			out[k] = m
+		}
+		m[0] += float64(l.Quantity)
+		m[1] += l.ExtendedPrice
+		m[2] += l.ExtendedPrice * (1 - l.Discount)
+		m[3] += l.ExtendedPrice * (1 - l.Discount) * (1 + l.Tax)
+		m[4]++
+	}
+	return out
+}
+
+// RefQ02 is the reference for Q02 (minimum cost supplier): for parts with
+// the wanted size and type in region EUROPE, count the (part, supplier)
+// pairs achieving the minimum supply cost and sum their s_acctbal.
+func RefQ02(d *Data) Result {
+	suppNation := make(map[uint64]byte)
+	suppBal := make(map[uint64]float64)
+	for _, rec := range d.Supplier {
+		s := DecodeSupplier(rec)
+		suppNation[s.SuppKey] = s.NationKey
+		suppBal[s.SuppKey] = s.AcctBal
+	}
+	wanted := make(map[uint64]bool)
+	for _, rec := range d.Part {
+		p := DecodePart(rec)
+		if p.Size == Q02Size && p.TypeSuffix == TypeSuffixBrass {
+			wanted[p.PartKey] = true
+		}
+	}
+	minCost := make(map[uint64]float64)
+	for _, rec := range d.PartSupp {
+		ps := DecodePartSupp(rec)
+		if !wanted[ps.PartKey] {
+			continue
+		}
+		if NationRegion(suppNation[ps.SuppKey]) != Q02Region {
+			continue
+		}
+		if c, ok := minCost[ps.PartKey]; !ok || ps.SupplyCost < c {
+			minCost[ps.PartKey] = ps.SupplyCost
+		}
+	}
+	var rows, bal float64
+	for _, rec := range d.PartSupp {
+		ps := DecodePartSupp(rec)
+		c, ok := minCost[ps.PartKey]
+		if !ok || ps.SupplyCost != c {
+			continue
+		}
+		if NationRegion(suppNation[ps.SuppKey]) != Q02Region {
+			continue
+		}
+		rows++
+		bal += suppBal[ps.SuppKey]
+	}
+	return Result{"*": {rows, bal}}
+}
+
+// RefQ04 is the reference for Q04 (order priority checking).
+func RefQ04(d *Data) Result {
+	late := make(map[uint64]bool)
+	for _, rec := range d.Lineitem {
+		l := DecodeLineitem(rec)
+		if l.CommitDate < l.ReceiptDate {
+			late[l.OrderKey] = true
+		}
+	}
+	out := Result{}
+	for _, rec := range d.Orders {
+		o := DecodeOrders(rec)
+		if o.OrderDate < Q04Lo || o.OrderDate >= Q04Hi || !late[o.OrderKey] {
+			continue
+		}
+		k := OrderPriorityName(o.OrderPriority)
+		m := out[k]
+		if m == nil {
+			m = make([]float64, 1)
+			out[k] = m
+		}
+		m[0]++
+	}
+	return out
+}
+
+// RefQ06 is the reference for Q06 (forecasting revenue change).
+func RefQ06(d *Data) Result {
+	var rev float64
+	for _, rec := range d.Lineitem {
+		l := DecodeLineitem(rec)
+		if l.ShipDate >= Q06Lo && l.ShipDate < Q06Hi &&
+			l.Discount >= 0.05-1e-9 && l.Discount <= 0.07+1e-9 &&
+			l.Quantity < 24 {
+			rev += l.ExtendedPrice * l.Discount
+		}
+	}
+	return Result{"*": {rev}}
+}
+
+// RefQ12 is the reference for Q12 (shipping modes and order priority).
+// Metrics per shipmode: high_line_count, low_line_count.
+func RefQ12(d *Data) Result {
+	prio := make(map[uint64]byte)
+	for _, rec := range d.Orders {
+		o := DecodeOrders(rec)
+		prio[o.OrderKey] = o.OrderPriority
+	}
+	out := Result{}
+	for _, rec := range d.Lineitem {
+		l := DecodeLineitem(rec)
+		if l.ShipMode != Q12ModeA && l.ShipMode != Q12ModeB {
+			continue
+		}
+		if !(l.CommitDate < l.ReceiptDate && l.ShipDate < l.CommitDate) {
+			continue
+		}
+		if l.ReceiptDate < Q12Lo || l.ReceiptDate >= Q12Hi {
+			continue
+		}
+		k := ShipModeName(l.ShipMode)
+		m := out[k]
+		if m == nil {
+			m = make([]float64, 2)
+			out[k] = m
+		}
+		if p := prio[l.OrderKey]; p == 0 || p == 1 {
+			m[0]++
+		} else {
+			m[1]++
+		}
+	}
+	return out
+}
+
+// RefQ13 is the reference for Q13 (customer distribution): a histogram of
+// customers by their count of non-special-request orders.
+func RefQ13(d *Data) Result {
+	perCust := make(map[uint64]int)
+	for _, rec := range d.Orders {
+		o := DecodeOrders(rec)
+		if o.SpecialRequests {
+			continue
+		}
+		perCust[o.CustKey]++
+	}
+	hist := make(map[int]float64)
+	for _, rec := range d.Customer {
+		c := DecodeCustomer(rec)
+		hist[perCust[c.CustKey]]++
+	}
+	out := Result{}
+	for cnt, n := range hist {
+		out[fmt.Sprintf("%d", cnt)] = []float64{n}
+	}
+	return out
+}
+
+// RefQ14 is the reference for Q14 (promotion effect): 100 × promo revenue /
+// total revenue for one ship month.
+func RefQ14(d *Data) Result {
+	promo := make(map[uint64]bool)
+	for _, rec := range d.Part {
+		p := DecodePart(rec)
+		promo[p.PartKey] = p.Promo
+	}
+	var promoRev, rev float64
+	for _, rec := range d.Lineitem {
+		l := DecodeLineitem(rec)
+		if l.ShipDate < Q14Lo || l.ShipDate >= Q14Hi {
+			continue
+		}
+		v := l.ExtendedPrice * (1 - l.Discount)
+		rev += v
+		if promo[l.PartKey] {
+			promoRev += v
+		}
+	}
+	if rev == 0 {
+		return Result{"*": {0}}
+	}
+	return Result{"*": {100 * promoRev / rev}}
+}
+
+// RefQ17 is the reference for Q17 (small-quantity-order revenue):
+// sum(extendedprice)/7 over lines of one brand+container whose quantity is
+// below 20% of the part's average quantity.
+func RefQ17(d *Data) Result {
+	var qtySum, qtyCnt = make(map[uint64]float64), make(map[uint64]float64)
+	for _, rec := range d.Lineitem {
+		l := DecodeLineitem(rec)
+		qtySum[l.PartKey] += float64(l.Quantity)
+		qtyCnt[l.PartKey]++
+	}
+	wanted := make(map[uint64]bool)
+	for _, rec := range d.Part {
+		p := DecodePart(rec)
+		if p.Brand == Q17Brand && p.Container == Q17Container {
+			wanted[p.PartKey] = true
+		}
+	}
+	var sum float64
+	for _, rec := range d.Lineitem {
+		l := DecodeLineitem(rec)
+		if !wanted[l.PartKey] {
+			continue
+		}
+		avg := qtySum[l.PartKey] / qtyCnt[l.PartKey]
+		if float64(l.Quantity) < 0.2*avg {
+			sum += l.ExtendedPrice
+		}
+	}
+	return Result{"*": {sum / 7.0}}
+}
+
+// RefQ22 is the reference for Q22 (global sales opportunity). Metrics per
+// phone country code: numcust, totacctbal.
+func RefQ22(d *Data) Result {
+	var balSum, balCnt float64
+	for _, rec := range d.Customer {
+		c := DecodeCustomer(rec)
+		if q22CodeIn(c.PhoneCode) && c.AcctBal > 0 {
+			balSum += c.AcctBal
+			balCnt++
+		}
+	}
+	if balCnt == 0 {
+		return Result{}
+	}
+	avg := balSum / balCnt
+	hasOrders := make(map[uint64]bool)
+	for _, rec := range d.Orders {
+		hasOrders[DecodeOrders(rec).CustKey] = true
+	}
+	out := Result{}
+	for _, rec := range d.Customer {
+		c := DecodeCustomer(rec)
+		if !q22CodeIn(c.PhoneCode) || c.AcctBal <= avg || hasOrders[c.CustKey] {
+			continue
+		}
+		k := fmt.Sprintf("%d", c.PhoneCode)
+		m := out[k]
+		if m == nil {
+			m = make([]float64, 2)
+			out[k] = m
+		}
+		m[0]++
+		m[1] += c.AcctBal
+	}
+	return out
+}
+
+// Reference dispatches a query by name.
+func Reference(q string, d *Data) (Result, error) {
+	switch q {
+	case "Q01":
+		return RefQ01(d), nil
+	case "Q02":
+		return RefQ02(d), nil
+	case "Q04":
+		return RefQ04(d), nil
+	case "Q06":
+		return RefQ06(d), nil
+	case "Q12":
+		return RefQ12(d), nil
+	case "Q13":
+		return RefQ13(d), nil
+	case "Q14":
+		return RefQ14(d), nil
+	case "Q17":
+		return RefQ17(d), nil
+	case "Q22":
+		return RefQ22(d), nil
+	}
+	return nil, fmt.Errorf("tpch: unknown query %q", q)
+}
+
+// QueryNames lists the nine benchmark queries in the paper's order.
+var QueryNames = []string{"Q01", "Q02", "Q04", "Q06", "Q12", "Q13", "Q14", "Q17", "Q22"}

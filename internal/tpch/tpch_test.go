@@ -1,0 +1,155 @@
+package tpch
+
+import (
+	"testing"
+
+	"pangea/internal/cluster"
+	"pangea/internal/query"
+)
+
+const testKey = "tpch-test-key"
+
+func startExec(t *testing.T, nodes int) *query.Executor {
+	t.Helper()
+	return startExecMem(t, nodes, 64<<20)
+}
+
+func startExecMem(t *testing.T, nodes int, mem int64) *query.Executor {
+	t.Helper()
+	mgr, err := cluster.NewManager("127.0.0.1:0", testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mgr.Close() })
+	cl := cluster.NewClient(mgr.Addr(), testKey)
+	var workers []*cluster.Worker
+	for i := 0; i < nodes; i++ {
+		w, err := cluster.NewWorker("127.0.0.1:0", cluster.WorkerConfig{
+			PrivateKey: testKey, Memory: mem, DiskDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = w.Close() })
+		if _, err := cl.RegisterWorker(w.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	return query.NewExecutor(cl, workers, 2)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.001, 42)
+	b := Generate(0.001, 42)
+	if len(a.Lineitem) != len(b.Lineitem) {
+		t.Fatalf("lineitem counts differ: %d vs %d", len(a.Lineitem), len(b.Lineitem))
+	}
+	for i := range a.Lineitem {
+		if string(a.Lineitem[i]) != string(b.Lineitem[i]) {
+			t.Fatalf("lineitem %d differs", i)
+		}
+	}
+	c := Generate(0.001, 43)
+	if string(a.Lineitem[0]) == string(c.Lineitem[0]) {
+		t.Error("different seeds produced identical rows")
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	d := Generate(0.001, 1)
+	counts := d.Counts()
+	if counts["orders"] != 1500 {
+		t.Errorf("orders = %d, want 1500", counts["orders"])
+	}
+	if counts["customer"] != 150 {
+		t.Errorf("customer = %d, want 150", counts["customer"])
+	}
+	if counts["part"] != 200 {
+		t.Errorf("part = %d, want 200", counts["part"])
+	}
+	if counts["partsupp"] != 800 {
+		t.Errorf("partsupp = %d, want 800", counts["partsupp"])
+	}
+	// lineitem averages 4 per order.
+	if l := counts["lineitem"]; l < 3*1500 || l > 5*1500 {
+		t.Errorf("lineitem = %d, outside [4500, 7500]", l)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := Generate(0.0005, 7)
+	for _, rec := range d.Lineitem[:10] {
+		l := DecodeLineitem(rec)
+		out := make([]byte, LineitemSize)
+		l.Encode(out)
+		if string(out) != string(rec) {
+			t.Fatal("lineitem round trip mismatch")
+		}
+	}
+	for _, rec := range d.Orders[:10] {
+		o := DecodeOrders(rec)
+		out := make([]byte, OrdersSize)
+		o.Encode(out)
+		if string(out) != string(rec) {
+			t.Fatal("orders round trip mismatch")
+		}
+	}
+	c := DecodeCustomer(d.Customer[0])
+	outC := make([]byte, CustomerSize)
+	c.Encode(outC)
+	if string(outC) != string(d.Customer[0]) {
+		t.Fatal("customer round trip mismatch")
+	}
+}
+
+func TestDateMonotone(t *testing.T) {
+	if !(Date(1992, 1, 1) < Date(1993, 1, 1) && Date(1993, 1, 1) < Date(1993, 7, 1)) {
+		t.Error("dates not monotone")
+	}
+	if Date(1994, 1, 1)-Date(1993, 1, 1) != daysPerYear {
+		t.Error("year length wrong")
+	}
+}
+
+func TestReferenceQueriesNonTrivial(t *testing.T) {
+	d := Generate(0.002, 11)
+	for _, q := range QueryNames {
+		res, err := Reference(q, d)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(res) == 0 && q != "Q22" {
+			t.Errorf("%s returned an empty result; generator selectivities too tight", q)
+		}
+	}
+}
+
+// TestQueriesMatchReference runs all nine queries in both modes on a 3-node
+// deployment and compares against the in-memory reference.
+func TestQueriesMatchReference(t *testing.T) {
+	e := startExec(t, 3)
+	d := Generate(0.002, 5)
+	if err := Load(e, d, 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildReplicas(e, 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []bool{true, false} {
+		r := NewRunner(e, 2, mode)
+		for _, q := range QueryNames {
+			want, err := Reference(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Run(q)
+			if err != nil {
+				t.Fatalf("mode=%v %s: %v", mode, q, err)
+			}
+			if err := ResultsEqual(want, got, 1e-9); err != nil {
+				t.Errorf("mode=%v %s: %v", mode, q, err)
+			}
+		}
+	}
+}
