@@ -11,8 +11,11 @@ package pangea_test
 import (
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"pangea/internal/core"
+	"pangea/internal/disk"
 	"pangea/internal/exp"
 )
 
@@ -77,3 +80,94 @@ func BenchmarkTab4KVAggregation(b *testing.B) { runExperiment(b, "tab4") }
 
 // BenchmarkS7Colliding regenerates the §7 colliding-object study.
 func BenchmarkS7Colliding(b *testing.B) { runExperiment(b, "s7") }
+
+// BenchmarkS5Concurrency regenerates the §5 parallel Pin/Unpin ablation.
+func BenchmarkS5Concurrency(b *testing.B) { runExperiment(b, "s5") }
+
+// parallelPool builds a pool with nSets locality sets of pagesPerSet
+// resident pages each, sized so the benchmark never evicts: what's measured
+// is locking, not I/O.
+func parallelPool(b *testing.B, nSets, pagesPerSet int) []*core.LocalitySet {
+	b.Helper()
+	arr, err := disk.NewArray(b.TempDir(), 1, disk.Unthrottled())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = arr.RemoveAll() })
+	bp, err := core.NewPool(core.PoolConfig{Memory: 64 << 20, Array: arr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets := make([]*core.LocalitySet, nSets)
+	for i := range sets {
+		s, err := bp.CreateSet(core.SetSpec{Name: "s" + string(rune('a'+i)), PageSize: 4 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < pagesPerSet; j++ {
+			p, err := s.NewPage()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Unpin(p, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sets[i] = s
+	}
+	return sets
+}
+
+// BenchmarkPoolParallel measures multi-goroutine Pin/Unpin throughput with
+// each goroutine on its own locality set. Under the per-set locking model
+// this scales with GOMAXPROCS (run with -cpu 1,2,4,8 to see the curve); the
+// seed's single pool mutex flat-lined it.
+func BenchmarkPoolParallel(b *testing.B) {
+	const nSets, pagesPerSet = 16, 16
+	sets := parallelPool(b, nSets, pagesPerSet)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := sets[int(next.Add(1))%nSets]
+		i := 0
+		for pb.Next() {
+			p, err := s.Pin(int64(i % pagesPerSet))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := s.Unpin(p, false); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkPoolParallelSharedSet is the contended counterpart: every
+// goroutine hammers the same locality set, so all traffic serializes on
+// that set's lock — the upper bound of what the old global mutex allowed
+// for the whole pool.
+func BenchmarkPoolParallelSharedSet(b *testing.B) {
+	const pagesPerSet = 16
+	sets := parallelPool(b, 1, pagesPerSet)
+	s := sets[0]
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1))
+		for pb.Next() {
+			p, err := s.Pin(int64(i % pagesPerSet))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := s.Unpin(p, false); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}

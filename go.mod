@@ -1,0 +1,3 @@
+module pangea
+
+go 1.22

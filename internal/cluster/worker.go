@@ -44,12 +44,23 @@ type Worker struct {
 	array *disk.Array
 	ln    net.Listener
 
-	mu      sync.Mutex
-	writers map[string]*services.SeqWriter
+	// mu guards only the maps below; each setWriter carries its own lock so
+	// record appends to different locality sets proceed in parallel, the
+	// same per-set granularity the buffer pool itself uses.
+	mu      sync.RWMutex
+	writers map[string]*setWriter
 	pinned  map[string]map[int64]*core.Page // pages pinned via PinPageReq
 	closed  bool
 
 	wg sync.WaitGroup
+}
+
+// setWriter is one locality set's server-side sequential writer plus the
+// lock that serializes appends to it (SeqWriter is single-threaded by
+// design: one writer per page, §8).
+type setWriter struct {
+	mu sync.Mutex
+	wr *services.SeqWriter
 }
 
 // NewWorker builds a worker and starts listening on addr ("host:0" picks a
@@ -82,7 +93,7 @@ func NewWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 		pool:    pool,
 		array:   array,
 		ln:      ln,
-		writers: make(map[string]*services.SeqWriter),
+		writers: make(map[string]*setWriter),
 		pinned:  make(map[string]map[int64]*core.Page),
 	}
 	w.wg.Add(1)
@@ -190,46 +201,56 @@ func (w *Worker) handleCreateSet(req CreateSetReq) OKResp {
 
 // writerFor returns the set's server-side sequential writer, creating it on
 // first use.
-func (w *Worker) writerFor(name string) (*services.SeqWriter, error) {
+func (w *Worker) writerFor(name string) (*setWriter, error) {
+	w.mu.RLock()
+	sw, ok := w.writers[name]
+	w.mu.RUnlock()
+	if ok {
+		return sw, nil
+	}
 	set, ok := w.pool.GetSet(name)
 	if !ok {
 		return nil, fmt.Errorf("cluster: no set %q on worker %s", name, w.Addr())
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	wr, ok := w.writers[name]
+	sw, ok = w.writers[name]
 	if !ok {
-		wr = services.NewSeqWriter(set)
-		w.writers[name] = wr
+		sw = &setWriter{wr: services.NewSeqWriter(set)}
+		w.writers[name] = sw
 	}
-	return wr, nil
+	return sw, nil
 }
 
 // closeWriter seals the set's pending writer page so scans observe all
 // records.
 func (w *Worker) closeWriter(name string) error {
 	w.mu.Lock()
-	wr := w.writers[name]
+	sw := w.writers[name]
 	delete(w.writers, name)
 	w.mu.Unlock()
-	if wr == nil {
+	if sw == nil {
 		return nil
 	}
-	return wr.Close()
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.wr.Close()
 }
 
 func (w *Worker) handleAddRecords(req AddRecordsReq) OKResp {
 	if err := w.checkAuth(req.Auth); err != nil {
 		return OKResp{Err: err.Error()}
 	}
-	wr, err := w.writerFor(req.Set)
+	sw, err := w.writerFor(req.Set)
 	if err != nil {
 		return OKResp{Err: err.Error()}
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	// Appends to this set serialize on its writer; appends to other sets on
+	// this worker proceed concurrently.
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	for _, rec := range req.Records {
-		if err := wr.Add(rec); err != nil {
+		if err := sw.wr.Add(rec); err != nil {
 			return OKResp{Err: err.Error()}
 		}
 	}

@@ -16,22 +16,20 @@ func NewDataAware() *DataAware { return &DataAware{} }
 // Name implements Policy.
 func (*DataAware) Name() string { return "data-aware" }
 
-// SelectVictims implements Policy. The pool lock is held.
-func (*DataAware) SelectVictims(bp *BufferPool) ([]*Page, error) {
-	sets := bp.PolicySets()
-
-	pick := func(wantEnded bool) *LocalitySet {
-		var best *LocalitySet
+// SelectVictims implements Policy over the pool snapshot.
+func (*DataAware) SelectVictims(view *PolicyView) ([]PageRef, error) {
+	pick := func(wantEnded bool) *SetSnapshot {
+		var best *SetSnapshot
 		bestCost := math.Inf(1)
-		for _, s := range sets {
-			if s.PolicyAttrs().LifetimeEnded != wantEnded {
+		for _, s := range view.Sets {
+			if s.Attrs.LifetimeEnded != wantEnded {
 				continue
 			}
-			p := s.PolicyNextVictim()
-			if p == nil {
+			p, ok := s.NextVictim()
+			if !ok {
 				continue
 			}
-			if c := bp.PolicyPageCost(p); c < bestCost {
+			if c := view.PageCost(p); c < bestCost {
 				bestCost, best = c, s
 			}
 		}
@@ -41,10 +39,10 @@ func (*DataAware) SelectVictims(bp *BufferPool) ([]*Page, error) {
 	// Lifetime-ended sets are always chosen first (their pages can never be
 	// referenced again and dirty ones are dropped without spilling).
 	if s := pick(true); s != nil {
-		return s.PolicyVictimBatch(), nil
+		return s.VictimBatch(), nil
 	}
 	if s := pick(false); s != nil {
-		return s.PolicyVictimBatch(), nil
+		return s.VictimBatch(), nil
 	}
 	return nil, nil
 }

@@ -6,12 +6,29 @@ import (
 	"testing/quick"
 )
 
+// viewAt builds a bare PolicyView at the given logical tick, for probing
+// the probability model in isolation.
+func viewAt(tick int64) *PolicyView {
+	return &PolicyView{Tick: tick, horizon: 1, profile: IOProfile{ReadCost: 1, WriteCost: 1}}
+}
+
+// findSet returns the snapshot of the named set within a view.
+func findSet(t *testing.T, view *PolicyView, name string) *SetSnapshot {
+	t.Helper()
+	for _, s := range view.Sets {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("view has no set %q", name)
+	return nil
+}
+
 func TestReuseProbabilityMonotone(t *testing.T) {
-	bp := newTestPool(t, 1<<20, nil)
-	bp.tick.Store(1000)
+	v := viewAt(1000)
 	// More recent references must have a higher reuse probability.
-	pRecent := bp.reuseProbability(999)
-	pOld := bp.reuseProbability(1)
+	pRecent := v.reuseProbability(999)
+	pOld := v.reuseProbability(1)
 	if pRecent <= pOld {
 		t.Errorf("p(recent)=%v <= p(old)=%v", pRecent, pOld)
 	}
@@ -21,12 +38,11 @@ func TestReuseProbabilityMonotone(t *testing.T) {
 }
 
 func TestReuseProbabilityProperty(t *testing.T) {
-	bp := newTestPool(t, 1<<20, nil)
-	bp.tick.Store(1 << 40)
+	v := viewAt(1 << 40)
 	f := func(a, b uint32) bool {
 		// For any two last-ref ticks, the more recent one has >= probability.
 		ta, tb := int64(a), int64(b)
-		pa, pb := bp.reuseProbability(ta), bp.reuseProbability(tb)
+		pa, pb := v.reuseProbability(ta), v.reuseProbability(tb)
 		if ta > tb {
 			return pa >= pb
 		}
@@ -43,11 +59,10 @@ func TestReuseProbabilityProperty(t *testing.T) {
 // TestLinearApproximation verifies the §6 note: with horizon t=1,
 // p_reuse = 1 − e^{−λ} ≈ λ for small λ.
 func TestLinearApproximation(t *testing.T) {
-	bp := newTestPool(t, 1<<20, nil)
-	bp.tick.Store(1 << 20)
+	v := viewAt(1 << 20)
 	for _, delta := range []int64{100, 1000, 10000} {
 		lambda := 1.0 / float64(delta)
-		p := bp.reuseProbability(bp.tick.Load() - delta)
+		p := v.reuseProbability(v.Tick - delta)
 		if math.Abs(p-lambda) > lambda*lambda {
 			t.Errorf("delta=%d: p=%v not within λ² of λ=%v", delta, p, lambda)
 		}
@@ -66,16 +81,27 @@ func TestPageCostOrdering(t *testing.T) {
 	ph, _ := hash.NewPage()
 	_ = seq.Unpin(ps, true)  // dirty
 	_ = hash.Unpin(ph, true) // dirty
-	bp.mu.Lock()
 	// Equalise recency so only attributes differ.
-	ps.lastRef = bp.tick.Load()
-	ph.lastRef = bp.tick.Load()
-	costSeq := bp.PolicyPageCost(ps)
-	costHash := bp.PolicyPageCost(ph)
+	now := bp.tick.Load()
+	seq.mu.Lock()
+	ps.lastRef = now
+	seq.mu.Unlock()
+	hash.mu.Lock()
+	ph.lastRef = now
+	hash.mu.Unlock()
+
+	view := bp.snapshot()
+	refSeq, okSeq := findSet(t, view, "seq").NextVictim()
+	refHash, okHash := findSet(t, view, "hash").NextVictim()
+	if !okSeq || !okHash {
+		t.Fatal("expected evictable pages in both sets")
+	}
+	costSeq := view.PageCost(refSeq)
+	costHash := view.PageCost(refHash)
 	// Clean copy of the sequential page.
-	ps.dirty = false
-	costClean := bp.PolicyPageCost(ps)
-	bp.mu.Unlock()
+	refClean := refSeq
+	refClean.Dirty = false
+	costClean := view.PageCost(refClean)
 
 	if costHash <= costSeq {
 		t.Errorf("random-read cost %v should exceed sequential cost %v", costHash, costSeq)
@@ -114,23 +140,17 @@ func TestVictimBatchSize(t *testing.T) {
 		_ = s.Unpin(p, false)
 	}
 	s.SetCurrentOp(OpWrite)
-	bp.mu.Lock()
-	if n := len(s.PolicyVictimBatch()); n != 1 {
+	if n := len(findSet(t, bp.snapshot(), "s").VictimBatch()); n != 1 {
 		t.Errorf("write batch = %d, want 1", n)
 	}
-	bp.mu.Unlock()
 	s.SetCurrentOp(OpRead)
-	bp.mu.Lock()
-	if n := len(s.PolicyVictimBatch()); n != 4 {
+	if n := len(findSet(t, bp.snapshot(), "s").VictimBatch()); n != 4 {
 		t.Errorf("read batch = %d, want 4 (10%% of 40)", n)
 	}
-	bp.mu.Unlock()
 	s.SetCurrentOp(OpReadWrite)
-	bp.mu.Lock()
-	if n := len(s.PolicyVictimBatch()); n != 1 {
+	if n := len(findSet(t, bp.snapshot(), "s").VictimBatch()); n != 1 {
 		t.Errorf("read-and-write batch = %d, want 1", n)
 	}
-	bp.mu.Unlock()
 }
 
 // TestMRUvsLRUVictimOrder: an MRU set evicts its most recently used page,
@@ -147,18 +167,14 @@ func TestMRUvsLRUVictimOrder(t *testing.T) {
 	_ = s.Unpin(p1, false)
 
 	s.SetReading(SequentialRead) // -> MRU
-	bp.mu.Lock()
-	if v := s.PolicyNextVictim(); v.Num() != 1 {
-		t.Errorf("MRU victim = %d, want 1", v.Num())
+	if v, ok := findSet(t, bp.snapshot(), "s").NextVictim(); !ok || v.Num != 1 {
+		t.Errorf("MRU victim = %d (ok=%v), want 1", v.Num, ok)
 	}
-	bp.mu.Unlock()
 
 	s.SetReading(RandomRead) // -> LRU
-	bp.mu.Lock()
-	if v := s.PolicyNextVictim(); v.Num() != 0 {
-		t.Errorf("LRU victim = %d, want 0", v.Num())
+	if v, ok := findSet(t, bp.snapshot(), "s").NextVictim(); !ok || v.Num != 0 {
+		t.Errorf("LRU victim = %d (ok=%v), want 0", v.Num, ok)
 	}
-	bp.mu.Unlock()
 }
 
 // TestDataAwarePrefersCheapVictim: between a clean sequential set and a dirty
@@ -174,17 +190,16 @@ func TestDataAwarePrefersCheapVictim(t *testing.T) {
 		q, _ := costly.NewPage()
 		_ = costly.Unpin(q, true) // dirty write-back
 	}
-	bp.mu.Lock()
 	// Equalise recency to isolate the attribute-driven cost difference.
 	now := bp.tick.Load()
-	for _, p := range cheap.resident {
-		p.lastRef = now
+	for _, s := range []*LocalitySet{cheap, costly} {
+		s.mu.Lock()
+		for _, p := range s.resident {
+			p.lastRef = now
+		}
+		s.mu.Unlock()
 	}
-	for _, p := range costly.resident {
-		p.lastRef = now
-	}
-	victims, err := NewDataAware().SelectVictims(bp)
-	bp.mu.Unlock()
+	victims, err := NewDataAware().SelectVictims(bp.snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,8 +207,8 @@ func TestDataAwarePrefersCheapVictim(t *testing.T) {
 		t.Fatal("no victims")
 	}
 	for _, v := range victims {
-		if v.Set().Name() != "cheap" {
-			t.Errorf("victim from %q, want all from cheap clean set", v.Set().Name())
+		if v.Set.Name != "cheap" {
+			t.Errorf("victim from %q, want all from cheap clean set", v.Set.Name)
 		}
 	}
 }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// evictor is the pool's background eviction daemon. It owns all spill I/O:
+// allocation paths never write to disk, they kick the daemon and block on a
+// broadcast channel until memory is reclaimed (or the policy reports an
+// error). The daemon is lazy — the goroutine starts on the first kick and
+// exits once free memory is back above the high watermark and no allocation
+// is waiting, so idle pools hold no goroutine and can be garbage collected.
+type evictor struct {
+	bp *BufferPool
+
+	mu      sync.Mutex
+	running bool          // a daemon goroutine is live
+	kicked  bool          // a pass was requested since the daemon last idled
+	notify  chan struct{} // closed and replaced on every broadcast
+	seq     uint64        // broadcast sequence number
+	lastErr error         // error from the most recent failed round
+	errSeq  uint64        // seq at which lastErr was recorded
+
+	// waiters counts allocations currently blocked on reclaimed memory.
+	// Unpin consults it (one atomic load on the hot path) to decide whether
+	// a page becoming evictable is worth a broadcast.
+	waiters atomic.Int32
+}
+
+func newEvictor(bp *BufferPool) *evictor {
+	return &evictor{bp: bp, notify: make(chan struct{})}
+}
+
+// kick requests an eviction pass, starting the daemon goroutine if none is
+// live. Multiple kicks coalesce into one pass.
+func (e *evictor) kick() {
+	e.mu.Lock()
+	e.kicked = true
+	if !e.running {
+		e.running = true
+		go e.run()
+	}
+	e.mu.Unlock()
+}
+
+// broadcast wakes every blocked allocation. A non-nil err records a failed
+// eviction round (policy refusal or spill I/O error) for waiters to pick up.
+func (e *evictor) broadcast(err error) {
+	e.mu.Lock()
+	e.seq++
+	if err != nil {
+		e.lastErr = err
+		e.errSeq = e.seq
+	}
+	close(e.notify)
+	e.notify = make(chan struct{})
+	e.mu.Unlock()
+}
+
+// observe returns the current wait channel and sequence number. A waiter
+// must call observe before its allocation attempt: any reclaim after the
+// observed point closes the returned channel, so no wakeup can be lost.
+func (e *evictor) observe() (<-chan struct{}, uint64) {
+	e.mu.Lock()
+	ch, seq := e.notify, e.seq
+	e.mu.Unlock()
+	return ch, seq
+}
+
+// errSince reports an eviction error recorded after the observed sequence
+// point, if any.
+func (e *evictor) errSince(seq uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.errSeq > seq {
+		return e.lastErr
+	}
+	return nil
+}
+
+// run is the daemon loop: drain eviction passes until a pass completes with
+// no pending kick, then exit. Each kick guarantees at least one eviction
+// round (a blocked allocation may need memory even when free bytes look
+// healthy, e.g. under fragmentation); beyond that the pass continues only
+// while free memory is below the high watermark, so the daemon can never
+// outrace a woken waiter and drain the pool. If a round reclaims too little,
+// the waiter's failed retry kicks the next round — the same
+// evict-retry-evict convergence as a synchronous loop, minus the spilling
+// on the allocation path.
+func (e *evictor) run() {
+	for {
+		e.mu.Lock()
+		e.kicked = false
+		e.mu.Unlock()
+
+		for round := 0; ; round++ {
+			if round > 0 && e.bp.alloc.FreeBytes() >= e.bp.cfg.HighWater {
+				break
+			}
+			evicted, err := e.bp.evictOnce()
+			if err != nil {
+				e.broadcast(err)
+				break
+			}
+			if !evicted {
+				// Nothing evictable right now. Park; an Unpin or DropSet
+				// will wake the waiters, and their retry re-kicks us.
+				break
+			}
+			e.broadcast(nil)
+		}
+
+		e.mu.Lock()
+		if !e.kicked {
+			e.running = false
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Unlock()
+	}
+}

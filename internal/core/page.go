@@ -12,7 +12,9 @@ type PageID struct {
 // control block (pin count, dirty flag, recency), mirroring the paper's
 // pinned/unpinned and dirty/clean flags plus reference counting (§5).
 //
-// All mutable fields are guarded by the owning pool's mutex.
+// All mutable fields are guarded by the owning LocalitySet's mutex; num,
+// off and size are immutable after creation. Policies never see a Page —
+// they work on PageRef snapshots inside a PolicyView.
 type Page struct {
 	set      *LocalitySet
 	num      int64
@@ -41,11 +43,3 @@ func (p *Page) Bytes() []byte { return p.set.pool.arena.Slice(p.off, p.size) }
 // proxy ships this value over the socket so computation threads can map the
 // page without copying (§5, Fig 2).
 func (p *Page) Offset() int64 { return p.off }
-
-// PolicyLastRef returns the page's last-access tick. It must be called only
-// from a Policy with the pool lock held.
-func (p *Page) PolicyLastRef() int64 { return p.lastRef }
-
-// PolicyDirty reports the dirty flag. It must be called only from a Policy
-// with the pool lock held.
-func (p *Page) PolicyDirty() bool { return p.dirty }

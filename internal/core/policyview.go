@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// PolicyView is an immutable snapshot of the buffer pool taken by the
+// eviction daemon just before it consults the paging policy. Policies
+// compute over the snapshot without holding any pool or set lock: the
+// locking model is invisible to them, and a slow policy can never stall
+// Pin/Unpin traffic. Victim choices are returned as PageRefs; the daemon
+// re-validates each one against live state (the page may have been pinned
+// or dropped since the snapshot) before actually evicting it.
+type PolicyView struct {
+	// Capacity is the pool's arena size in bytes.
+	Capacity int64
+	// Used is the number of arena bytes allocated when the snapshot was
+	// taken (including allocator headers).
+	Used int64
+	// Tick is the pool's logical clock at snapshot time.
+	Tick int64
+	// Sets holds one snapshot per live locality set.
+	Sets []*SetSnapshot
+
+	horizon float64
+	profile IOProfile
+}
+
+// SetSnapshot is one locality set's state within a PolicyView.
+type SetSnapshot struct {
+	// Name is the set's name, for diagnostics.
+	Name string
+	// Attrs is the set's attribute tag vector (Table 1).
+	Attrs Attributes
+	// PageSize is the fixed page size shared by the set's pages.
+	PageSize int64
+	// LastAccess is the set-level AccessRecency tick.
+	LastAccess int64
+	// Resident is the number of pages cached at snapshot time.
+	Resident int
+	// TotalPages is the total logical page count (resident or spilled),
+	// which DBMIN's looping/random size estimates use.
+	TotalPages int64
+	// Evictable lists the set's pages that were evictable at snapshot time:
+	// resident, unpinned, and not already being evicted. Empty for sets
+	// whose Location attribute pins them in memory.
+	Evictable []PageRef
+
+	set *LocalitySet // live handle for victim resolution
+}
+
+// PageRef identifies one evictable page within a PolicyView.
+type PageRef struct {
+	// Set is the snapshot of the page's owning locality set.
+	Set *SetSnapshot
+	// Num is the page's sequence number within its set.
+	Num int64
+	// LastRef is the page's last-access tick.
+	LastRef int64
+	// Dirty reports whether the page held unpersisted modifications.
+	Dirty bool
+}
+
+// EvictablePages flattens the evictable pages of every set, the raw
+// material for global policies like LRU and MRU.
+func (v *PolicyView) EvictablePages() []PageRef {
+	var out []PageRef
+	for _, s := range v.Sets {
+		out = append(out, s.Evictable...)
+	}
+	return out
+}
+
+// PageCost evaluates the expected cost of evicting page p within the
+// horizon t (§6):
+//
+//	cost = c_w + p_reuse · c_r
+//	c_w  = d · v_w            (d = 1 iff the page must be written back)
+//	c_r  = v_r · w_r          (w_r > 1 for random reading patterns)
+//	p_reuse = 1 − e^{−λt},  λ = 1 / (t_now − t_ref)
+func (v *PolicyView) PageCost(p PageRef) float64 {
+	attrs := p.Set.Attrs
+	var cw float64
+	if p.Dirty && !attrs.LifetimeEnded {
+		// Only write-back data can be dirty at eviction time; write-through
+		// pages were persisted at unpin (d=0 for write-through).
+		cw = v.profile.WriteCost
+	}
+	cr := v.profile.ReadCost * attrs.ReadPenalty()
+	return cw + v.reuseProbability(p.LastRef)*cr
+}
+
+// reuseProbability computes p_reuse from the time since last reference,
+// relative to the snapshot's tick.
+func (v *PolicyView) reuseProbability(lastRef int64) float64 {
+	delta := v.Tick - lastRef
+	if delta < 1 {
+		delta = 1
+	}
+	lambda := 1.0 / float64(delta)
+	return 1 - math.Exp(-lambda*v.horizon)
+}
+
+// NextVictim returns the page the set's own replacement strategy (MRU/LRU,
+// derived from its access-pattern tags) would evict next; ok is false if
+// nothing is evictable.
+func (s *SetSnapshot) NextVictim() (PageRef, bool) {
+	if len(s.Evictable) == 0 {
+		return PageRef{}, false
+	}
+	mru := s.Attrs.Strategy() == EvictMRU
+	best := s.Evictable[0]
+	for _, p := range s.Evictable[1:] {
+		if mru && p.LastRef > best.LastRef || !mru && p.LastRef < best.LastRef {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// VictimBatch returns the pages one eviction round takes from this set: a
+// single page while the set is being written (evicting fresh output is
+// costly), or 10% of the evictable pages for read-only sets, in the set's
+// strategy order (§6).
+func (s *SetSnapshot) VictimBatch() []PageRef {
+	if len(s.Evictable) == 0 {
+		return nil
+	}
+	cands := append([]PageRef(nil), s.Evictable...)
+	mru := s.Attrs.Strategy() == EvictMRU
+	sort.Slice(cands, func(i, j int) bool {
+		if mru {
+			return cands[i].LastRef > cands[j].LastRef
+		}
+		return cands[i].LastRef < cands[j].LastRef
+	})
+	n := 1
+	if !s.Attrs.CurrentOp.involvesWrite() {
+		n = (len(cands) + 9) / 10 // ceil(10%)
+	}
+	return cands[:n]
+}
+
+// snapshot builds a PolicyView. It takes the registry lock briefly to list
+// the sets, then each set's lock in turn — never two locks at once.
+func (bp *BufferPool) snapshot() *PolicyView {
+	bp.regMu.RLock()
+	sets := make([]*LocalitySet, 0, len(bp.sets))
+	for _, s := range bp.sets {
+		sets = append(sets, s)
+	}
+	bp.regMu.RUnlock()
+
+	view := &PolicyView{
+		Capacity: bp.cfg.Memory,
+		Used:     bp.alloc.Used(),
+		Tick:     bp.tick.Load(),
+		horizon:  bp.cfg.Horizon,
+		profile:  bp.cfg.Profile,
+	}
+	for _, s := range sets {
+		s.mu.Lock()
+		if s.dropped {
+			s.mu.Unlock()
+			continue
+		}
+		ss := &SetSnapshot{
+			Name:       s.name,
+			Attrs:      s.attrs,
+			PageSize:   s.pageSize,
+			LastAccess: s.lastAccess,
+			Resident:   len(s.resident),
+			TotalPages: s.nextNum,
+			set:        s,
+		}
+		if !s.attrs.Pinned {
+			for _, p := range s.resident {
+				if p.pin == 0 && !p.evicting {
+					ss.Evictable = append(ss.Evictable, PageRef{
+						Set:     ss,
+						Num:     p.num,
+						LastRef: p.lastRef,
+						Dirty:   p.dirty,
+					})
+				}
+			}
+		}
+		s.mu.Unlock()
+		view.Sets = append(view.Sets, ss)
+	}
+	return view
+}

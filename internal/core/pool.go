@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,13 +13,14 @@ import (
 )
 
 // Policy selects eviction victims when the buffer pool runs out of memory.
-// SelectVictims is invoked with the pool mutex held and must only use the
-// Policy* accessors. Returning an empty slice means nothing is evictable
-// right now; returning an error aborts the allocation (DBMIN's blocking
+// SelectVictims receives an immutable PolicyView snapshot and runs without
+// any pool lock held; it may retain nothing from the view after returning.
+// Returning an empty slice means nothing is evictable right now; returning
+// an error aborts the allocations waiting on memory (DBMIN's blocking
 // behaviour surfaces this way).
 type Policy interface {
 	Name() string
-	SelectVictims(pool *BufferPool) ([]*Page, error)
+	SelectVictims(view *PolicyView) ([]PageRef, error)
 }
 
 // IOProfile carries the profiled per-page I/O costs v_r and v_w used by the
@@ -46,9 +46,16 @@ type PoolConfig struct {
 	Horizon float64
 	// Profile holds v_r/v_w; both default to 1.
 	Profile IOProfile
-	// AllocTimeout bounds how long an allocation waits for pages to become
-	// unpinned before failing. Defaults to 5s.
+	// AllocTimeout bounds how long an allocation waits without progress
+	// (no memory reclaimed, no page unpinned) before failing. Defaults
+	// to 5s.
 	AllocTimeout time.Duration
+	// LowWater and HighWater are the eviction daemon's free-memory
+	// watermarks in bytes: when free memory falls below LowWater the daemon
+	// starts evicting in the background, and it keeps going until free
+	// memory reaches HighWater. Defaults are Memory/16 and Memory/8.
+	LowWater  int64
+	HighWater int64
 }
 
 // PoolStats counts buffer pool activity.
@@ -67,17 +74,25 @@ var ErrNoEvictable = errors.New("core: buffer pool exhausted and nothing evictab
 // region holding user data, job data and execution data for every
 // application on the node, with a TLSF allocator carving variable-sized
 // pages out of it and a single paging policy across all locality sets.
+//
+// Concurrency model: the pool itself holds only a registry lock (regMu,
+// guarding the set tables) and atomics (logical clock, peak usage). All
+// page state — resident maps, pin counts, dirty flags, recency — is guarded
+// by the owning LocalitySet's lock, so traffic on different sets never
+// contends. Spill I/O runs in a background eviction daemon; allocators
+// block on the daemon's broadcast channel instead of polling.
 type BufferPool struct {
 	cfg   PoolConfig
 	arena *memory.Arena
 	alloc *memory.TLSF
 	array *disk.Array
 
-	mu     sync.Mutex
-	cond   *sync.Cond
+	regMu  sync.RWMutex
 	sets   map[SetID]*LocalitySet
 	byName map[string]*LocalitySet
 	nextID SetID
+
+	evictor *evictor
 
 	tick atomic.Int64
 	peak atomic.Int64
@@ -108,6 +123,15 @@ func NewPool(cfg PoolConfig) (*BufferPool, error) {
 	if cfg.AllocTimeout == 0 {
 		cfg.AllocTimeout = 5 * time.Second
 	}
+	if cfg.LowWater == 0 {
+		cfg.LowWater = cfg.Memory / 16
+	}
+	if cfg.HighWater == 0 {
+		cfg.HighWater = cfg.Memory / 8
+	}
+	if cfg.HighWater < cfg.LowWater {
+		cfg.HighWater = cfg.LowWater
+	}
 	arena := memory.NewArena(cfg.Memory)
 	bp := &BufferPool{
 		cfg:    cfg,
@@ -117,7 +141,7 @@ func NewPool(cfg PoolConfig) (*BufferPool, error) {
 		sets:   make(map[SetID]*LocalitySet),
 		byName: make(map[string]*LocalitySet),
 	}
-	bp.cond = sync.NewCond(&bp.mu)
+	bp.evictor = newEvictor(bp)
 	return bp, nil
 }
 
@@ -134,14 +158,14 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 	if spec.PageSize <= 0 || spec.PageSize > bp.cfg.Memory {
 		return nil, fmt.Errorf("core: page size %d invalid for pool of %d bytes", spec.PageSize, bp.cfg.Memory)
 	}
-	bp.mu.Lock()
+	bp.regMu.Lock()
 	if _, dup := bp.byName[spec.Name]; dup {
-		bp.mu.Unlock()
+		bp.regMu.Unlock()
 		return nil, fmt.Errorf("core: set %q already exists", spec.Name)
 	}
 	id := bp.nextID
 	bp.nextID++
-	bp.mu.Unlock()
+	bp.regMu.Unlock()
 
 	file, err := pfs.Create(bp.array, fmt.Sprintf("%s.%d", spec.Name, id), spec.PageSize)
 	if err != nil {
@@ -157,51 +181,75 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 		resident: make(map[int64]*Page),
 		loading:  make(map[int64]bool),
 	}
-	bp.mu.Lock()
+	s.cond = sync.NewCond(&s.mu)
+	bp.regMu.Lock()
 	bp.sets[id] = s
 	bp.byName[spec.Name] = s
-	bp.mu.Unlock()
+	bp.regMu.Unlock()
 	return s, nil
 }
 
 // GetSet looks a locality set up by name.
 func (bp *BufferPool) GetSet(name string) (*LocalitySet, bool) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
+	bp.regMu.RLock()
+	defer bp.regMu.RUnlock()
 	s, ok := bp.byName[name]
 	return s, ok
 }
 
 // DropSet releases all of a set's memory and removes its file instance. The
-// caller must have unpinned every page first.
+// caller must have unpinned every page first. DropSet waits out any
+// in-flight eviction of the set's pages (the daemon may be spilling their
+// bytes) before recycling the memory.
 func (bp *BufferPool) DropSet(s *LocalitySet) error {
-	bp.mu.Lock()
+	s.mu.Lock()
 	if s.dropped {
-		bp.mu.Unlock()
+		s.mu.Unlock()
 		return nil
 	}
-	for _, p := range s.resident {
-		if p.pin > 0 {
-			bp.mu.Unlock()
-			return fmt.Errorf("core: drop set %q: page %d still pinned", s.name, p.num)
+	for {
+		evicting := false
+		for _, p := range s.resident {
+			if p.pin > 0 {
+				num := p.num
+				s.mu.Unlock()
+				return fmt.Errorf("core: drop set %q: page %d still pinned", s.name, num)
+			}
+			if p.evicting {
+				evicting = true
+			}
 		}
+		if !evicting {
+			break
+		}
+		s.cond.Wait()
 	}
 	s.dropped = true
+	offs := make([]int64, 0, len(s.resident))
 	for num, p := range s.resident {
-		bp.alloc.Free(p.off)
+		offs = append(offs, p.off)
 		delete(s.resident, num)
 	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, off := range offs {
+		bp.alloc.Free(off)
+	}
+	bp.regMu.Lock()
 	delete(bp.sets, s.id)
 	delete(bp.byName, s.name)
-	bp.cond.Broadcast()
-	bp.mu.Unlock()
+	bp.regMu.Unlock()
+	if len(offs) > 0 {
+		bp.evictor.broadcast(nil) // memory reclaimed
+	}
 	return s.file.Remove()
 }
 
 // Sets returns a snapshot of the registered locality sets.
 func (bp *BufferPool) Sets() []*LocalitySet {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
+	bp.regMu.RLock()
+	defer bp.regMu.RUnlock()
 	out := make([]*LocalitySet, 0, len(bp.sets))
 	for _, s := range bp.sets {
 		out = append(out, s)
@@ -237,126 +285,165 @@ func (bp *BufferPool) TickNow() int64 { return bp.tick.Load() }
 // nextTick advances the logical clock; every page access calls it.
 func (bp *BufferPool) nextTick() int64 { return bp.tick.Add(1) }
 
-// allocMem carves size bytes out of the arena, running eviction rounds
-// until the allocation fits or nothing can be evicted before the deadline.
-func (bp *BufferPool) allocMem(size int64) (int64, error) {
-	deadline := time.Now().Add(bp.cfg.AllocTimeout)
+// notePeak records a new high-water mark after a successful allocation.
+func (bp *BufferPool) notePeak() {
+	u := bp.alloc.Used()
 	for {
-		off, err := bp.alloc.Alloc(size)
-		if err == nil {
-			if u := bp.alloc.Used(); u > bp.peak.Load() {
-				bp.peak.Store(u)
-			}
-			return off, nil
+		old := bp.peak.Load()
+		if u <= old || bp.peak.CompareAndSwap(old, u) {
+			return
 		}
-		evicted, evictErr := bp.evictOnce()
-		if evictErr != nil {
-			return 0, evictErr
-		}
-		if evicted {
-			continue
-		}
-		if time.Now().After(deadline) {
-			return 0, ErrNoEvictable
-		}
-		// All candidate pages are pinned; wait briefly for an unpin.
-		time.Sleep(200 * time.Microsecond)
 	}
 }
 
-// evictOnce runs one round of the paging system (§6): the policy selects a
-// victim batch, dirty alive pages are spilled to their file instances with
-// the pool unlocked, then the memory is recycled.
+// allocMem carves size bytes out of the arena. On pressure it kicks the
+// eviction daemon and blocks on its broadcast channel until memory is
+// reclaimed, the policy reports an error, or the deadline passes — no
+// spill I/O ever runs on this path.
+func (bp *BufferPool) allocMem(size int64) (int64, error) {
+	e := bp.evictor
+	if off, err := bp.alloc.Alloc(size); err == nil {
+		bp.notePeak()
+		if bp.alloc.FreeBytes() < bp.cfg.LowWater {
+			e.kick()
+		}
+		return off, nil
+	}
+
+	e.waiters.Add(1)
+	defer e.waiters.Add(-1)
+	timer := time.NewTimer(bp.cfg.AllocTimeout)
+	defer timer.Stop()
+	for {
+		// Observe before the attempt: any reclaim after this point closes
+		// ch, so the retry cannot miss it.
+		ch, seq := e.observe()
+		off, err := bp.alloc.Alloc(size)
+		if err == nil {
+			bp.notePeak()
+			return off, nil
+		}
+		e.kick()
+		select {
+		case <-ch:
+			if err := e.errSince(seq); err != nil {
+				return 0, err
+			}
+			// A broadcast signals progress (memory reclaimed or a page
+			// unpinned); rearm the timeout so the deadline only triggers
+			// while the pool is genuinely stuck — stalled eviction rounds
+			// never broadcast. This mirrors the seed's loop, which checked
+			// its deadline only when a round evicted nothing.
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timer.Reset(bp.cfg.AllocTimeout)
+		case <-timer.C:
+			if off, err := bp.alloc.Alloc(size); err == nil {
+				bp.notePeak()
+				return off, nil
+			}
+			return 0, ErrNoEvictable
+		}
+	}
+}
+
+// evictOnce runs one round of the paging system (§6) on behalf of the
+// eviction daemon: snapshot the pool, let the policy select a victim batch,
+// claim the victims against live state, spill dirty alive pages with no
+// locks held, then recycle the memory.
 func (bp *BufferPool) evictOnce() (bool, error) {
-	bp.mu.Lock()
-	victims, err := bp.cfg.Policy.SelectVictims(bp)
+	view := bp.snapshot()
+	victims, err := bp.cfg.Policy.SelectVictims(view)
 	if err != nil {
-		bp.mu.Unlock()
 		return false, fmt.Errorf("core: paging policy %s: %w", bp.cfg.Policy.Name(), err)
 	}
 	if len(victims) == 0 {
-		bp.mu.Unlock()
 		return false, nil
 	}
-	type spill struct {
-		p    *Page
-		file *pfs.PagedFile
+
+	// Group the victim refs by owning set, preserving policy order.
+	type claim struct {
+		set    *LocalitySet
+		pages  []*Page
+		spills []*Page
 	}
-	var spills []spill
-	for _, p := range victims {
-		p.evicting = true
-		if p.dirty && !p.set.attrs.LifetimeEnded {
-			spills = append(spills, spill{p, p.set.file})
+	var claims []*claim
+	bySet := make(map[*LocalitySet]*claim)
+	for _, ref := range victims {
+		s := ref.Set.set
+		c := bySet[s]
+		if c == nil {
+			c = &claim{set: s}
+			bySet[s] = c
+			claims = append(claims, c)
 		}
 	}
-	bp.mu.Unlock()
-
-	var spillErr error
-	for _, sp := range spills {
-		if err := sp.file.WritePage(sp.p.num, sp.p.Bytes()); err != nil {
-			spillErr = err
-			break
-		}
-		bp.stats.Spills.Add(1)
-	}
-
-	bp.mu.Lock()
-	for _, p := range victims {
-		if spillErr != nil {
-			p.evicting = false // abort eviction, keep pages resident
+	for _, c := range claims {
+		s := c.set
+		s.mu.Lock()
+		if s.dropped {
+			s.mu.Unlock()
 			continue
 		}
-		p.dirty = false
-		p.evicting = false
-		delete(p.set.resident, p.num)
-		bp.alloc.Free(p.off)
-		bp.stats.Evictions.Add(1)
+		attrs := s.attrs
+		for _, ref := range victims {
+			if ref.Set.set != s {
+				continue
+			}
+			// Re-validate against live state: the page may have been
+			// pinned, evicted or dropped since the snapshot.
+			p := s.resident[ref.Num]
+			if p == nil || p.pin > 0 || p.evicting {
+				continue
+			}
+			p.evicting = true
+			c.pages = append(c.pages, p)
+			if p.dirty && !attrs.LifetimeEnded {
+				c.spills = append(c.spills, p)
+			}
+		}
+		s.mu.Unlock()
 	}
-	bp.cond.Broadcast()
-	bp.mu.Unlock()
+
+	// Batched write-back of dirty alive victims, outside all locks.
+	var spillErr error
+spill:
+	for _, c := range claims {
+		for _, p := range c.spills {
+			if err := c.set.file.WritePage(p.num, p.Bytes()); err != nil {
+				spillErr = err
+				break spill
+			}
+			bp.stats.Spills.Add(1)
+		}
+	}
+
+	evicted := 0
+	for _, c := range claims {
+		s := c.set
+		var offs []int64
+		s.mu.Lock()
+		for _, p := range c.pages {
+			if spillErr != nil {
+				p.evicting = false // abort eviction, keep pages resident
+				continue
+			}
+			p.dirty = false
+			p.evicting = false
+			delete(s.resident, p.num)
+			offs = append(offs, p.off)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		for _, off := range offs {
+			bp.alloc.Free(off)
+			bp.stats.Evictions.Add(1)
+			evicted++
+		}
+	}
 	if spillErr != nil {
 		return false, fmt.Errorf("core: spill during eviction: %w", spillErr)
 	}
-	return true, nil
-}
-
-// PolicySets lists all live locality sets. It must be called only from a
-// Policy with the pool lock held.
-func (bp *BufferPool) PolicySets() []*LocalitySet {
-	out := make([]*LocalitySet, 0, len(bp.sets))
-	for _, s := range bp.sets {
-		out = append(out, s)
-	}
-	return out
-}
-
-// PolicyPageCost evaluates the expected cost of evicting page p within the
-// horizon t (§6):
-//
-//	cost = c_w + p_reuse · c_r
-//	c_w  = d · v_w            (d = 1 iff the page must be written back)
-//	c_r  = v_r · w_r          (w_r > 1 for random reading patterns)
-//	p_reuse = 1 − e^{−λt},  λ = 1 / (t_now − t_ref)
-//
-// Policy-only; pool lock held.
-func (bp *BufferPool) PolicyPageCost(p *Page) float64 {
-	attrs := p.set.attrs
-	var cw float64
-	if p.dirty && !attrs.LifetimeEnded {
-		// Only write-back data can be dirty at eviction time; write-through
-		// pages were persisted at unpin (d=0 for write-through).
-		cw = bp.cfg.Profile.WriteCost
-	}
-	cr := bp.cfg.Profile.ReadCost * attrs.ReadPenalty()
-	return cw + bp.reuseProbability(p.lastRef)*cr
-}
-
-// reuseProbability computes p_reuse from the time since last reference.
-func (bp *BufferPool) reuseProbability(lastRef int64) float64 {
-	delta := bp.tick.Load() - lastRef
-	if delta < 1 {
-		delta = 1
-	}
-	lambda := 1.0 / float64(delta)
-	return 1 - math.Exp(-lambda*bp.cfg.Horizon)
+	return evicted > 0, nil
 }

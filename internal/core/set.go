@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"pangea/internal/pfs"
 )
@@ -22,7 +22,12 @@ type LocalitySet struct {
 	name     string
 	pageSize int64
 
-	// Everything below is guarded by pool.mu.
+	// mu guards everything below, plus the mutable fields of this set's
+	// Pages. Each set has its own lock so Pin/Unpin/NewPage traffic on
+	// different sets never contends; cond wakes waiters for pages that are
+	// mid-load or mid-eviction.
+	mu         sync.Mutex
+	cond       *sync.Cond
 	attrs      Attributes
 	file       *pfs.PagedFile
 	resident   map[int64]*Page
@@ -43,70 +48,75 @@ func (s *LocalitySet) PageSize() int64 { return s.pageSize }
 
 // Attrs returns a snapshot of the set's attribute tags.
 func (s *LocalitySet) Attrs() Attributes {
-	s.pool.mu.Lock()
-	defer s.pool.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.attrs
 }
 
 // SetWriting stamps the writing-pattern attribute. Services call this when
 // an allocator is attached to the set (§3.2).
 func (s *LocalitySet) SetWriting(w WritingPattern) {
-	s.pool.mu.Lock()
+	s.mu.Lock()
 	s.attrs.Writing = w
-	s.pool.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // SetReading stamps the reading-pattern attribute.
 func (s *LocalitySet) SetReading(r ReadingPattern) {
-	s.pool.mu.Lock()
+	s.mu.Lock()
 	s.attrs.Reading = r
-	s.pool.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // SetCurrentOp stamps the current-operation attribute.
 func (s *LocalitySet) SetCurrentOp(op CurrentOperation) {
-	s.pool.mu.Lock()
+	s.mu.Lock()
 	s.attrs.CurrentOp = op
-	s.pool.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // SetPinnedLocation marks the set's Location attribute: a pinned set is
 // never chosen for eviction.
 func (s *LocalitySet) SetPinnedLocation(pinned bool) {
-	s.pool.mu.Lock()
+	s.mu.Lock()
 	s.attrs.Pinned = pinned
-	s.pool.mu.Unlock()
+	s.mu.Unlock()
+	if !pinned && s.pool.evictor.waiters.Load() > 0 {
+		// The whole set just became eligible for eviction; wake blocked
+		// allocations so their retry re-kicks the daemon.
+		s.pool.evictor.broadcast(nil)
+	}
 }
 
 // EndLifetime declares that the data will never be accessed again. Pages of
 // lifetime-ended sets are always evicted first, and dirty pages are dropped
 // without being spilled (§6).
 func (s *LocalitySet) EndLifetime() {
-	s.pool.mu.Lock()
+	s.mu.Lock()
 	s.attrs.LifetimeEnded = true
-	s.pool.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // NumPages returns the total number of logical pages ever appended to the
 // set on this node (resident and/or spilled).
 func (s *LocalitySet) NumPages() int64 {
-	s.pool.mu.Lock()
-	defer s.pool.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.nextNum
 }
 
 // ResidentPages returns how many of the set's pages are currently cached.
 func (s *LocalitySet) ResidentPages() int {
-	s.pool.mu.Lock()
-	defer s.pool.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.resident)
 }
 
 // PageNums returns the sorted page numbers of the set on this node.
 func (s *LocalitySet) PageNums() []int64 {
-	s.pool.mu.Lock()
+	s.mu.Lock()
 	n := s.nextNum
-	s.pool.mu.Unlock()
+	s.mu.Unlock()
 	nums := make([]int64, n)
 	for i := range nums {
 		nums[i] = int64(i)
@@ -117,14 +127,14 @@ func (s *LocalitySet) PageNums() []int64 {
 // NewPage appends a fresh page to the set and returns it pinned and dirty.
 // The caller must Unpin it when done writing.
 func (s *LocalitySet) NewPage() (*Page, error) {
-	off, err := s.pool.allocMem(s.pageSize)
+	bp := s.pool
+	off, err := bp.allocMem(s.pageSize)
 	if err != nil {
 		return nil, fmt.Errorf("core: new page for set %q: %w", s.name, err)
 	}
-	bp := s.pool
-	bp.mu.Lock()
+	s.mu.Lock()
 	if s.dropped {
-		bp.mu.Unlock()
+		s.mu.Unlock()
 		bp.alloc.Free(off)
 		return nil, fmt.Errorf("core: set %q is dropped", s.name)
 	}
@@ -133,7 +143,7 @@ func (s *LocalitySet) NewPage() (*Page, error) {
 	s.nextNum++
 	s.resident[p.num] = p
 	s.lastAccess = tick
-	bp.mu.Unlock()
+	s.mu.Unlock()
 	return p, nil
 }
 
@@ -142,43 +152,43 @@ func (s *LocalitySet) NewPage() (*Page, error) {
 // Unpin it.
 func (s *LocalitySet) Pin(num int64) (*Page, error) {
 	bp := s.pool
-	bp.mu.Lock()
+	s.mu.Lock()
 	for {
 		if s.dropped {
-			bp.mu.Unlock()
+			s.mu.Unlock()
 			return nil, fmt.Errorf("core: set %q is dropped", s.name)
 		}
 		if p, ok := s.resident[num]; ok {
 			if p.evicting {
-				bp.cond.Wait()
+				s.cond.Wait()
 				continue
 			}
 			p.pin++
 			tick := bp.nextTick()
 			p.lastRef = tick
 			s.lastAccess = tick
-			bp.mu.Unlock()
+			s.mu.Unlock()
 			return p, nil
 		}
 		if s.loading[num] {
 			// Another goroutine is reading this page from disk.
-			bp.cond.Wait()
+			s.cond.Wait()
 			continue
 		}
 		break
 	}
 	if num < 0 || num >= s.nextNum {
-		bp.mu.Unlock()
+		s.mu.Unlock()
 		return nil, fmt.Errorf("core: set %q has no page %d", s.name, num)
 	}
 	s.loading[num] = true
-	bp.mu.Unlock()
+	s.mu.Unlock()
 
 	finish := func() {
-		bp.mu.Lock()
+		s.mu.Lock()
 		delete(s.loading, num)
-		bp.cond.Broadcast()
-		bp.mu.Unlock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
 	off, err := bp.allocMem(s.pageSize)
 	if err != nil {
@@ -192,14 +202,20 @@ func (s *LocalitySet) Pin(num int64) (*Page, error) {
 		return nil, fmt.Errorf("core: load page %d of set %q: %w", num, s.name, err)
 	}
 	bp.stats.Loads.Add(1)
-	bp.mu.Lock()
+	s.mu.Lock()
 	delete(s.loading, num)
+	if s.dropped {
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		bp.alloc.Free(off)
+		return nil, fmt.Errorf("core: set %q is dropped", s.name)
+	}
 	tick := bp.nextTick()
 	p := &Page{set: s, num: num, off: off, size: s.pageSize, pin: 1, dirty: false, lastRef: tick}
 	s.resident[num] = p
 	s.lastAccess = tick
-	bp.cond.Broadcast()
-	bp.mu.Unlock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
 	return p, nil
 }
 
@@ -208,16 +224,16 @@ func (s *LocalitySet) Pin(num int64) (*Page, error) {
 // persisted to the set's file instance before the pin drops (§4).
 func (s *LocalitySet) Unpin(p *Page, dirty bool) error {
 	bp := s.pool
-	bp.mu.Lock()
+	s.mu.Lock()
 	if p.pin <= 0 {
-		bp.mu.Unlock()
+		s.mu.Unlock()
 		return fmt.Errorf("core: unpin of unpinned page %d of set %q", p.num, s.name)
 	}
 	if dirty {
 		p.dirty = true
 	}
 	needFlush := p.dirty && s.attrs.Durability == WriteThrough && !s.attrs.LifetimeEnded
-	bp.mu.Unlock()
+	s.mu.Unlock()
 
 	var flushErr error
 	if needFlush {
@@ -226,34 +242,51 @@ func (s *LocalitySet) Unpin(p *Page, dirty bool) error {
 			bp.stats.FlushWrites.Add(1)
 		}
 	}
-	bp.mu.Lock()
+	s.mu.Lock()
 	if needFlush && flushErr == nil {
 		p.dirty = false
 	}
 	p.pin--
-	if p.pin == 0 {
-		bp.cond.Broadcast()
+	nowEvictable := p.pin == 0
+	s.mu.Unlock()
+	if nowEvictable && bp.evictor.waiters.Load() > 0 {
+		// The page just became evictable; let blocked allocations retry
+		// (their retry re-kicks the eviction daemon).
+		bp.evictor.broadcast(nil)
 	}
-	bp.mu.Unlock()
 	return flushErr
 }
 
 // Touch bumps the page's recency without re-pinning, for long computations
 // that keep referencing a pinned page.
 func (s *LocalitySet) Touch(p *Page) {
-	bp := s.pool
-	bp.mu.Lock()
-	tick := bp.nextTick()
+	tick := s.pool.nextTick()
+	s.mu.Lock()
 	p.lastRef = tick
 	s.lastAccess = tick
-	bp.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // FlushAll persists every resident dirty page. Used to force a consistent
 // on-disk image (e.g. before registering the set as a replica).
 func (s *LocalitySet) FlushAll() error {
-	bp := s.pool
-	bp.mu.Lock()
+	s.mu.Lock()
+	// Wait out in-flight evictions of dirty pages: the daemon is already
+	// writing those back, and pinning a page mid-eviction would let its
+	// memory be recycled while we hold it.
+	for {
+		busy := false
+		for _, p := range s.resident {
+			if p.dirty && p.evicting {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		s.cond.Wait()
+	}
 	var dirtyPages []*Page
 	for _, p := range s.resident {
 		if p.dirty {
@@ -261,22 +294,31 @@ func (s *LocalitySet) FlushAll() error {
 			dirtyPages = append(dirtyPages, p)
 		}
 	}
-	bp.mu.Unlock()
+	s.mu.Unlock()
 	var first error
 	for _, p := range dirtyPages {
 		if err := s.file.WritePage(p.num, p.Bytes()); err != nil && first == nil {
 			first = err
 		}
 	}
-	bp.mu.Lock()
+	s.mu.Lock()
+	released := false
 	for _, p := range dirtyPages {
 		if first == nil {
 			p.dirty = false
 		}
 		p.pin--
+		if p.pin == 0 {
+			released = true
+		}
 	}
-	bp.cond.Broadcast()
-	bp.mu.Unlock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if released && s.pool.evictor.waiters.Load() > 0 {
+		// Pages held against eviction during the writes are evictable
+		// again; wake blocked allocations.
+		s.pool.evictor.broadcast(nil)
+	}
 	if first != nil {
 		return first
 	}
@@ -285,76 +327,3 @@ func (s *LocalitySet) FlushAll() error {
 
 // DiskBytes reports the set's on-disk footprint on this node.
 func (s *LocalitySet) DiskBytes() int64 { return s.file.DiskBytes() }
-
-// --- policy-facing accessors (pool lock held by the paging system) ---------
-
-// PolicyAttrs returns the set's attributes. It must be called only from a
-// Policy with the pool lock held.
-func (s *LocalitySet) PolicyAttrs() Attributes { return s.attrs }
-
-// PolicyLastAccess returns the set-level AccessRecency tick. Policy-only.
-func (s *LocalitySet) PolicyLastAccess() int64 { return s.lastAccess }
-
-// PolicyResidentCount returns the number of resident pages. Policy-only.
-func (s *LocalitySet) PolicyResidentCount() int { return len(s.resident) }
-
-// PolicyTotalPages returns the total logical page count of the set (resident
-// or spilled), which DBMIN's looping/random size estimates use. Policy-only.
-func (s *LocalitySet) PolicyTotalPages() int64 { return s.nextNum }
-
-// PolicyEvictable lists the set's pages that may be evicted right now:
-// resident, unpinned, and not already being evicted. Returns nil for sets
-// whose Location attribute pins them in memory. Policy-only.
-func (s *LocalitySet) PolicyEvictable() []*Page {
-	if s.attrs.Pinned || s.dropped {
-		return nil
-	}
-	out := make([]*Page, 0, len(s.resident))
-	for _, p := range s.resident {
-		if p.pin == 0 && !p.evicting {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// PolicyNextVictim returns the page the set's own replacement strategy
-// (MRU/LRU, derived from its access-pattern tags) would evict next, or nil
-// if nothing is evictable. Policy-only.
-func (s *LocalitySet) PolicyNextVictim() *Page {
-	cands := s.PolicyEvictable()
-	if len(cands) == 0 {
-		return nil
-	}
-	mru := s.attrs.Strategy() == EvictMRU
-	best := cands[0]
-	for _, p := range cands[1:] {
-		if mru && p.lastRef > best.lastRef || !mru && p.lastRef < best.lastRef {
-			best = p
-		}
-	}
-	return best
-}
-
-// PolicyVictimBatch returns the pages one eviction round takes from this
-// set: a single page while the set is being written (evicting fresh output
-// is costly), or 10% of the evictable pages for read-only sets, in the
-// set's strategy order (§6). Policy-only.
-func (s *LocalitySet) PolicyVictimBatch() []*Page {
-	cands := s.PolicyEvictable()
-	if len(cands) == 0 {
-		return nil
-	}
-	mru := s.attrs.Strategy() == EvictMRU
-	sort.Slice(cands, func(i, j int) bool {
-		if mru {
-			return cands[i].lastRef > cands[j].lastRef
-		}
-		return cands[i].lastRef < cands[j].lastRef
-	})
-	n := 1
-	if !s.attrs.CurrentOp.involvesWrite() {
-		n = (len(cands) + 9) / 10 // ceil(10%)
-	}
-	return cands[:n]
-}

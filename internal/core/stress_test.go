@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pangea/internal/disk"
+)
+
+// stamp writes a recognizable pattern derived from (set, page) into buf, and
+// check verifies it; together they catch pages whose memory was recycled
+// while still reachable, the classic failure of a racy eviction path.
+func stamp(buf []byte, set, num int64) {
+	n := len(buf)
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = byte(set*31 + num*7 + int64(i))
+	}
+}
+
+func checkStamp(buf []byte, set, num int64) error {
+	n := len(buf)
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		if buf[i] != byte(set*31+num*7+int64(i)) {
+			return fmt.Errorf("set %d page %d corrupt at byte %d", set, num, i)
+		}
+	}
+	return nil
+}
+
+// TestPoolConcurrentStress hammers Pin/Unpin/NewPage/Touch across several
+// locality sets from many goroutines while a churn goroutine creates,
+// fills, lifetime-ends and drops extra sets — all under enough memory
+// pressure that the eviction daemon runs constantly. Run with -race; the
+// content stamps verify that no page's memory is recycled while reachable.
+func TestPoolConcurrentStress(t *testing.T) {
+	const (
+		pageSize = 4 << 10
+		nSets    = 4
+		pages    = 24 // logical pages per set: 96 total vs a 40-page pool
+		workers  = 8
+		iters    = 300
+	)
+	arr, err := disk.NewArray(t.TempDir(), 2, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	bp, err := NewPool(PoolConfig{Memory: 40 * pageSize, Array: arr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sets := make([]*LocalitySet, nSets)
+	written := make([]atomic.Int64, nSets) // pages fully written, safe to pin
+	for i := range sets {
+		s, err := bp.CreateSet(SetSpec{Name: fmt.Sprintf("s%d", i), PageSize: pageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[i] = s
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers+1)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for it := 0; it < iters; it++ {
+				si := rng.Intn(nSets)
+				s := sets[si]
+				avail := written[si].Load()
+				if avail < pages && (avail == 0 || rng.Intn(3) == 0) {
+					p, err := s.NewPage()
+					if err != nil {
+						fail(fmt.Errorf("worker %d: NewPage: %w", w, err))
+						return
+					}
+					stamp(p.Bytes(), int64(si), p.Num())
+					if rng.Intn(4) == 0 {
+						s.Touch(p)
+					}
+					if err := s.Unpin(p, true); err != nil {
+						fail(err)
+						return
+					}
+					// Only count pages written in order; concurrent NewPage
+					// calls may interleave, so advance conservatively.
+					for {
+						cur := written[si].Load()
+						if p.Num() != cur || written[si].CompareAndSwap(cur, cur+1) {
+							break
+						}
+					}
+					continue
+				}
+				num := rng.Int63n(avail)
+				p, err := s.Pin(num)
+				if err != nil {
+					fail(fmt.Errorf("worker %d: Pin(%s,%d): %w", w, s.Name(), num, err))
+					return
+				}
+				if err := checkStamp(p.Bytes(), int64(si), num); err != nil {
+					fail(err)
+				}
+				if err := s.Unpin(p, false); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Churn goroutine: transient sets appear, fill, end their lifetime and
+	// vanish, exercising DropSet against the eviction daemon.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 10; round++ {
+			c, err := bp.CreateSet(SetSpec{Name: fmt.Sprintf("churn%d", round), PageSize: pageSize})
+			if err != nil {
+				fail(err)
+				return
+			}
+			for i := 0; i < 6; i++ {
+				p, err := c.NewPage()
+				if err != nil {
+					fail(err)
+					return
+				}
+				stamp(p.Bytes(), -1, p.Num())
+				if err := c.Unpin(p, true); err != nil {
+					fail(err)
+					return
+				}
+			}
+			c.EndLifetime()
+			if err := bp.DropSet(c); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Invariants after the storm: accounting is sane and every page that
+	// was fully written survives with its contents intact.
+	if used := bp.UsedBytes(); used < 0 || used > bp.Capacity() {
+		t.Fatalf("UsedBytes %d outside [0, %d]", used, bp.Capacity())
+	}
+	if peak := bp.PeakBytes(); peak > bp.Capacity() {
+		t.Fatalf("PeakBytes %d exceeds capacity %d", peak, bp.Capacity())
+	}
+	for si, s := range sets {
+		if int64(s.ResidentPages()) > s.NumPages() {
+			t.Fatalf("set %s: resident %d > total %d", s.Name(), s.ResidentPages(), s.NumPages())
+		}
+		for num := int64(0); num < written[si].Load(); num++ {
+			p, err := s.Pin(num)
+			if err != nil {
+				t.Fatalf("final Pin(%s,%d): %v", s.Name(), num, err)
+			}
+			if err := checkStamp(p.Bytes(), int64(si), num); err != nil {
+				t.Error(err)
+			}
+			if err := s.Unpin(p, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bp.DropSet(s); err != nil {
+			t.Fatalf("DropSet(%s): %v", s.Name(), err)
+		}
+	}
+	if bp.UsedBytes() != 0 {
+		t.Errorf("UsedBytes = %d after dropping every set, want 0", bp.UsedBytes())
+	}
+}
+
+// TestConcurrentPinWhileEvicting pins one page from many goroutines while
+// memory pressure forces that page in and out of memory, exercising the
+// evicting/loading wait paths of Pin against the daemon.
+func TestConcurrentPinWhileEvicting(t *testing.T) {
+	const pageSize = 4 << 10
+	arr, err := disk.NewArray(t.TempDir(), 1, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	bp, err := NewPool(PoolConfig{Memory: 6 * pageSize, Array: arr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := bp.CreateSet(SetSpec{Name: "hot", PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hot.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp(p.Bytes(), 0, 0)
+	if err := hot.Unpin(p, true); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := bp.CreateSet(SetSpec{Name: "cold", PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 9)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p, err := hot.Pin(0)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := checkStamp(p.Bytes(), 0, 0); err != nil {
+					errCh <- err
+				}
+				if err := hot.Unpin(p, false); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	// Pressure: stream cold pages through the pool so "hot" keeps getting
+	// selected for eviction between pins.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			p, err := cold.NewPage()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if err := cold.Unpin(p, true); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

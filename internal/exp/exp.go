@@ -121,6 +121,7 @@ var Registry = []struct {
 	{"tab3", Tab3, "shuffle write/read: simulated Spark shuffle vs Pangea"},
 	{"tab4", Tab4, "key-value aggregation: Go map vs Pangea hashmap vs Redis-like"},
 	{"s7", S7, "colliding objects vs node count and the n/k estimate"},
+	{"s5", S5Concurrency, "parallel Pin/Unpin throughput: shared set vs per-goroutine sets"},
 }
 
 // Run executes one experiment by id.

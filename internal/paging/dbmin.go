@@ -15,12 +15,12 @@ var ErrDBMINBlocked = errors.New("paging: DBMIN blocked: total desired locality 
 // Sizer estimates the desired size (in pages) of one locality set, the way
 // DBMIN's query locality set model derives a working-set budget per file
 // instance. poolPages is the pool capacity expressed in this set's pages.
-type Sizer func(s *core.LocalitySet, poolPages int64) int64
+type Sizer func(s *core.SetSnapshot, poolPages int64) int64
 
 // SizerFixed returns a sizer that assigns every set the same desired size,
 // matching the paper's DBMIN-1 (n=1) and DBMIN-1000 (n=1000) strawmen.
 func SizerFixed(n int64) Sizer {
-	return func(*core.LocalitySet, int64) int64 { return n }
+	return func(*core.SetSnapshot, int64) int64 { return n }
 }
 
 // SizerAdaptive follows the QLSM estimation rules of Chou & DeWitt, with the
@@ -39,12 +39,12 @@ func SizerFixed(n int64) Sizer {
 // desired size can exceed the pool, and DBMIN blocks — exactly the failure
 // mode in Fig 3.
 func SizerAdaptive() Sizer {
-	return func(s *core.LocalitySet, _ int64) int64 {
-		a := s.PolicyAttrs()
+	return func(s *core.SetSnapshot, _ int64) int64 {
+		a := s.Attrs
 		switch {
 		case a.Reading == core.SequentialRead, a.Reading == core.RandomRead,
 			a.Writing == core.RandomMutableWrite:
-			n := s.PolicyTotalPages()
+			n := s.TotalPages
 			if n < 1 {
 				n = 1
 			}
@@ -60,7 +60,7 @@ func SizerAdaptive() Sizer {
 // set size at the memory size.
 func SizerTuned() Sizer {
 	adaptive := SizerAdaptive()
-	return func(s *core.LocalitySet, poolPages int64) int64 {
+	return func(s *core.SetSnapshot, poolPages int64) int64 {
 		n := adaptive(s, poolPages)
 		if n > poolPages {
 			n = poolPages
@@ -109,31 +109,29 @@ func NewDBMIN(name string, sizer Sizer, block bool) *DBMIN {
 // Name implements core.Policy.
 func (d *DBMIN) Name() string { return d.name }
 
-// SelectVictims implements core.Policy. Pool lock held.
-func (d *DBMIN) SelectVictims(bp *core.BufferPool) ([]*core.Page, error) {
-	sets := bp.PolicySets()
-
+// SelectVictims implements core.Policy over the pool snapshot.
+func (d *DBMIN) SelectVictims(view *core.PolicyView) ([]core.PageRef, error) {
 	// Blocking check: if the sum of desired sizes (in bytes) exceeds the
 	// pool, original DBMIN refuses to admit the request.
 	if d.block {
 		var want int64
-		for _, s := range sets {
-			poolPages := bp.Capacity() / s.PageSize()
-			want += d.sizer(s, poolPages) * s.PageSize()
+		for _, s := range view.Sets {
+			poolPages := view.Capacity / s.PageSize
+			want += d.sizer(s, poolPages) * s.PageSize
 		}
-		if want > bp.Capacity() {
-			return nil, fmt.Errorf("%w (desired %d bytes > pool %d bytes)", ErrDBMINBlocked, want, bp.Capacity())
+		if want > view.Capacity {
+			return nil, fmt.Errorf("%w (desired %d bytes > pool %d bytes)", ErrDBMINBlocked, want, view.Capacity)
 		}
 	}
 
 	// Choose the set with the largest excess over its desired size and take
 	// a batch from it using the set's own pattern-derived order.
-	var victim *core.LocalitySet
+	var victim *core.SetSnapshot
 	var victimExcess int64
-	for _, s := range sets {
-		poolPages := bp.Capacity() / s.PageSize()
-		excess := int64(s.PolicyResidentCount()) - d.sizer(s, poolPages)
-		if excess > victimExcess && len(s.PolicyEvictable()) > 0 {
+	for _, s := range view.Sets {
+		poolPages := view.Capacity / s.PageSize
+		excess := int64(s.Resident) - d.sizer(s, poolPages)
+		if excess > victimExcess && len(s.Evictable) > 0 {
 			victim, victimExcess = s, excess
 		}
 	}
@@ -141,8 +139,8 @@ func (d *DBMIN) SelectVictims(bp *core.BufferPool) ([]*core.Page, error) {
 		// No set exceeds its budget but memory is still short: fall back to
 		// draining the set with the most evictable pages so allocation can
 		// proceed (a unified pool has no reserved partitions to steal from).
-		for _, s := range sets {
-			if n := len(s.PolicyEvictable()); n > 0 && (victim == nil || n > len(victim.PolicyEvictable())) {
+		for _, s := range view.Sets {
+			if n := len(s.Evictable); n > 0 && (victim == nil || n > len(victim.Evictable)) {
 				victim = s
 			}
 		}
@@ -150,7 +148,7 @@ func (d *DBMIN) SelectVictims(bp *core.BufferPool) ([]*core.Page, error) {
 	if victim == nil {
 		return nil, nil
 	}
-	batch := victim.PolicyVictimBatch()
+	batch := victim.VictimBatch()
 	if victimExcess > 0 && int64(len(batch)) > victimExcess {
 		batch = batch[:victimExcess]
 	}

@@ -6,7 +6,8 @@
 // All policies satisfy core.Policy and plug into the unified buffer pool
 // unchanged, so every experiment can swap the paging strategy while keeping
 // the rest of the system identical — exactly how the paper's ablations are
-// run.
+// run. Policies compute over an immutable core.PolicyView snapshot taken by
+// the eviction daemon; they never see pool or set locks.
 package paging
 
 import (
@@ -14,16 +15,6 @@ import (
 
 	"pangea/internal/core"
 )
-
-// collectEvictable gathers every evictable page in the pool, skipping sets
-// whose Location attribute pins them. Pool lock held by the caller.
-func collectEvictable(bp *core.BufferPool) []*core.Page {
-	var out []*core.Page
-	for _, s := range bp.PolicySets() {
-		out = append(out, s.PolicyEvictable()...)
-	}
-	return out
-}
 
 // batchSize is the 10% eviction granularity the paper uses for its LRU and
 // MRU baselines: "10% of most recently used pages will be evicted at each
@@ -49,12 +40,12 @@ func NewLRU() *LRU { return &LRU{} }
 func (*LRU) Name() string { return "LRU" }
 
 // SelectVictims implements core.Policy.
-func (*LRU) SelectVictims(bp *core.BufferPool) ([]*core.Page, error) {
-	cands := collectEvictable(bp)
+func (*LRU) SelectVictims(view *core.PolicyView) ([]core.PageRef, error) {
+	cands := view.EvictablePages()
 	if len(cands) == 0 {
 		return nil, nil
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].PolicyLastRef() < cands[j].PolicyLastRef() })
+	sort.Slice(cands, func(i, j int) bool { return cands[i].LastRef < cands[j].LastRef })
 	return cands[:batchSize(len(cands))], nil
 }
 
@@ -69,11 +60,11 @@ func NewMRU() *MRU { return &MRU{} }
 func (*MRU) Name() string { return "MRU" }
 
 // SelectVictims implements core.Policy.
-func (*MRU) SelectVictims(bp *core.BufferPool) ([]*core.Page, error) {
-	cands := collectEvictable(bp)
+func (*MRU) SelectVictims(view *core.PolicyView) ([]core.PageRef, error) {
+	cands := view.EvictablePages()
 	if len(cands) == 0 {
 		return nil, nil
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].PolicyLastRef() > cands[j].PolicyLastRef() })
+	sort.Slice(cands, func(i, j int) bool { return cands[i].LastRef > cands[j].LastRef })
 	return cands[:batchSize(len(cands))], nil
 }
