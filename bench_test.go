@@ -9,6 +9,7 @@
 package pangea_test
 
 import (
+	"fmt"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,7 @@ import (
 	"pangea/internal/core"
 	"pangea/internal/disk"
 	"pangea/internal/exp"
+	"pangea/internal/memory"
 )
 
 var printOnce sync.Map
@@ -83,6 +85,90 @@ func BenchmarkS7Colliding(b *testing.B) { runExperiment(b, "s7") }
 
 // BenchmarkS5Concurrency regenerates the §5 parallel Pin/Unpin ablation.
 func BenchmarkS5Concurrency(b *testing.B) { runExperiment(b, "s5") }
+
+// BenchmarkS5AllocShards regenerates the allocator-sharding ablation:
+// parallel page alloc/free with 1 TLSF shard vs one per core.
+func BenchmarkS5AllocShards(b *testing.B) { runExperiment(b, "s5b") }
+
+// BenchmarkShardedAlloc measures allocator contention directly: parallel
+// 4 KiB alloc/free against a single TLSF shard (the seed design, every
+// allocation behind one mutex) vs one shard per core with per-size-class
+// front caches. Run with -cpu 1,2,4,8 to see the scaling curve.
+func BenchmarkShardedAlloc(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{{"shards=1", 1}, {"shards=auto", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			alloc := memory.NewShardedTLSF(memory.NewArena(256<<20), cfg.shards)
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				home := int(next.Add(1))
+				for pb.Next() {
+					off, err := alloc.AllocAffinity(4<<10, home)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					alloc.Free(off)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPoolAllocParallel measures the pool-level allocation path:
+// each goroutine appends pages to its own locality set (home-shard routed
+// NewPage/Unpin) and recycles the set once it reaches 64 pages, so the
+// steady state is allocator traffic, not eviction I/O.
+func BenchmarkPoolAllocParallel(b *testing.B) {
+	arr, err := disk.NewArray(b.TempDir(), 1, disk.Unthrottled())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = arr.RemoveAll() })
+	bp, err := core.NewPool(core.PoolConfig{Memory: 256 << 20, Array: arr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := next.Add(1)
+		gen := 0
+		s, err := bp.CreateSet(core.SetSpec{Name: fmt.Sprintf("a%d.%d", w, gen), PageSize: 4 << 10})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			p, err := s.NewPage()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := s.Unpin(p, false); err != nil {
+				b.Error(err)
+				return
+			}
+			if s.NumPages() >= 64 {
+				if err := bp.DropSet(s); err != nil {
+					b.Error(err)
+					return
+				}
+				gen++
+				s, err = bp.CreateSet(core.SetSpec{Name: fmt.Sprintf("a%d.%d", w, gen), PageSize: 4 << 10})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+		_ = bp.DropSet(s)
+	})
+}
 
 // parallelPool builds a pool with nSets locality sets of pagesPerSet
 // resident pages each, sized so the benchmark never evicts: what's measured

@@ -79,6 +79,17 @@ func (e *evictor) errSince(seq uint64) error {
 	return nil
 }
 
+// timeoutErr decides what a timed-out allocation reports: the eviction
+// error recorded since the waiter's observation point if there is one
+// (the broadcast and the deadline can fire in the same select), else a
+// bare ErrNoEvictable.
+func (e *evictor) timeoutErr(seq uint64) error {
+	if err := e.errSince(seq); err != nil {
+		return err
+	}
+	return ErrNoEvictable
+}
+
 // run is the daemon loop: drain eviction passes until a pass completes with
 // no pending kick, then exit. Each kick guarantees at least one eviction
 // round (a blocked allocation may need memory even when free bytes look

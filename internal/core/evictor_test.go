@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestTimeoutErrSurfacesRecordedError is the regression test for the
+// allocMem timeout path swallowing eviction errors: when the daemon
+// recorded a policy/spill error after the waiter's observation point, a
+// timed-out allocation must report that error, not a bare ErrNoEvictable.
+func TestTimeoutErrSurfacesRecordedError(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+	e := bp.evictor
+
+	_, seq := e.observe()
+	if err := e.timeoutErr(seq); !errors.Is(err, ErrNoEvictable) {
+		t.Fatalf("no recorded error: got %v, want ErrNoEvictable", err)
+	}
+
+	sentinel := errors.New("spill exploded")
+	e.broadcast(sentinel)
+	if err := e.timeoutErr(seq); !errors.Is(err, sentinel) {
+		t.Fatalf("recorded error swallowed: got %v, want %v", err, sentinel)
+	}
+
+	// Errors recorded before the observation point are stale and must not
+	// be replayed to later waiters.
+	_, seq2 := e.observe()
+	if err := e.timeoutErr(seq2); !errors.Is(err, ErrNoEvictable) {
+		t.Fatalf("stale error replayed: got %v, want ErrNoEvictable", err)
+	}
+}
+
+// TestAllocFailureSurfacesPolicyError: when the paging policy itself
+// errors, the blocked allocation must report that error to its caller.
+func TestAllocFailureSurfacesPolicyError(t *testing.T) {
+	sentinel := errors.New("policy refused")
+	bp := newTestPool(t, 5*4096, refusingPolicy{sentinel})
+	s, err := bp.CreateSet(SetSpec{Name: "s", PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		p, err := s.NewPage()
+		if err != nil {
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("NewPage error = %v, want wrapped %v", err, sentinel)
+			}
+			break
+		}
+		if err := s.Unpin(p, false); err != nil {
+			t.Fatal(err)
+		}
+		if i > 64 {
+			t.Fatal("pool never filled up")
+		}
+	}
+}
+
+type refusingPolicy struct{ err error }
+
+func (p refusingPolicy) Name() string                                 { return "refuse" }
+func (p refusingPolicy) SelectVictims(*PolicyView) ([]PageRef, error) { return nil, p.err }

@@ -51,11 +51,16 @@ type PoolConfig struct {
 	// to 5s.
 	AllocTimeout time.Duration
 	// LowWater and HighWater are the eviction daemon's free-memory
-	// watermarks in bytes: when free memory falls below LowWater the daemon
-	// starts evicting in the background, and it keeps going until free
-	// memory reaches HighWater. Defaults are Memory/16 and Memory/8.
+	// watermarks in bytes, compared against free memory aggregated across
+	// every allocator shard: when total free memory falls below LowWater
+	// the daemon starts evicting in the background, and it keeps going
+	// until it reaches HighWater. Defaults are Memory/16 and Memory/8.
 	LowWater  int64
 	HighWater int64
+	// AllocShards is the number of TLSF allocator shards (rounded to a
+	// power of two, each shard at least 1 MiB). 0 selects ~GOMAXPROCS;
+	// 1 restores the seed's single shared allocator.
+	AllocShards int
 }
 
 // PoolStats counts buffer pool activity.
@@ -84,13 +89,15 @@ var ErrNoEvictable = errors.New("core: buffer pool exhausted and nothing evictab
 type BufferPool struct {
 	cfg   PoolConfig
 	arena *memory.Arena
-	alloc *memory.TLSF
+	alloc memory.Allocator
 	array *disk.Array
 
-	regMu  sync.RWMutex
-	sets   map[SetID]*LocalitySet
-	byName map[string]*LocalitySet
-	nextID SetID
+	regMu    sync.RWMutex
+	sets     map[SetID]*LocalitySet
+	byName   map[string]*LocalitySet
+	reserved map[string]bool // names mid-CreateSet, not yet in byName
+	freeIDs  []SetID         // IDs returned by failed CreateSet calls
+	nextID   SetID
 
 	evictor *evictor
 
@@ -134,12 +141,13 @@ func NewPool(cfg PoolConfig) (*BufferPool, error) {
 	}
 	arena := memory.NewArena(cfg.Memory)
 	bp := &BufferPool{
-		cfg:    cfg,
-		arena:  arena,
-		alloc:  memory.NewTLSF(arena),
-		array:  cfg.Array,
-		sets:   make(map[SetID]*LocalitySet),
-		byName: make(map[string]*LocalitySet),
+		cfg:      cfg,
+		arena:    arena,
+		alloc:    memory.NewShardedTLSF(arena, cfg.AllocShards),
+		array:    cfg.Array,
+		sets:     make(map[SetID]*LocalitySet),
+		byName:   make(map[string]*LocalitySet),
+		reserved: make(map[string]bool),
 	}
 	bp.evictor = newEvictor(bp)
 	return bp, nil
@@ -153,22 +161,45 @@ type SetSpec struct {
 	Pinned     bool           // Location attribute
 }
 
-// CreateSet registers a new locality set and its file instance.
+// CreateSet registers a new locality set and its file instance. The name
+// and ID are reserved atomically before the pfs file is created, so two
+// concurrent CreateSet calls for the same name can never both pass the
+// duplicate check (the loser would otherwise become an unreachable orphan
+// in the registry with a leaked pfs file); if pfs.Create fails, the
+// reservation is released and the ID recycled.
 func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 	if spec.PageSize <= 0 || spec.PageSize > bp.cfg.Memory {
 		return nil, fmt.Errorf("core: page size %d invalid for pool of %d bytes", spec.PageSize, bp.cfg.Memory)
 	}
+	// A page cannot span allocator shards, so reject sizes no shard can
+	// ever hold — otherwise NewPage would block for the full AllocTimeout
+	// on an empty pool and fail with a misleading ErrNoEvictable.
+	if max := bp.alloc.MaxAlloc(); spec.PageSize > max {
+		return nil, fmt.Errorf("core: page size %d exceeds the %d-byte shard maximum (pool %d bytes in %d allocator shards)",
+			spec.PageSize, max, bp.cfg.Memory, bp.alloc.NumShards())
+	}
 	bp.regMu.Lock()
-	if _, dup := bp.byName[spec.Name]; dup {
+	if _, dup := bp.byName[spec.Name]; dup || bp.reserved[spec.Name] {
 		bp.regMu.Unlock()
 		return nil, fmt.Errorf("core: set %q already exists", spec.Name)
 	}
-	id := bp.nextID
-	bp.nextID++
+	bp.reserved[spec.Name] = true
+	var id SetID
+	if n := len(bp.freeIDs); n > 0 {
+		id = bp.freeIDs[n-1]
+		bp.freeIDs = bp.freeIDs[:n-1]
+	} else {
+		id = bp.nextID
+		bp.nextID++
+	}
 	bp.regMu.Unlock()
 
 	file, err := pfs.Create(bp.array, fmt.Sprintf("%s.%d", spec.Name, id), spec.PageSize)
 	if err != nil {
+		bp.regMu.Lock()
+		delete(bp.reserved, spec.Name)
+		bp.freeIDs = append(bp.freeIDs, id)
+		bp.regMu.Unlock()
 		return nil, err
 	}
 	s := &LocalitySet{
@@ -176,6 +207,7 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 		id:       id,
 		name:     spec.Name,
 		pageSize: spec.PageSize,
+		home:     bp.alloc.HomeShard(int(id)),
 		attrs:    Attributes{Durability: spec.Durability, Pinned: spec.Pinned},
 		file:     file,
 		resident: make(map[int64]*Page),
@@ -183,6 +215,7 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	bp.regMu.Lock()
+	delete(bp.reserved, spec.Name)
 	bp.sets[id] = s
 	bp.byName[spec.Name] = s
 	bp.regMu.Unlock()
@@ -260,6 +293,9 @@ func (bp *BufferPool) Sets() []*LocalitySet {
 // Capacity returns the pool's arena size in bytes.
 func (bp *BufferPool) Capacity() int64 { return bp.cfg.Memory }
 
+// AllocatorShards reports how many TLSF shards the arena was split into.
+func (bp *BufferPool) AllocatorShards() int { return bp.alloc.NumShards() }
+
 // UsedBytes returns the bytes currently allocated from the arena.
 func (bp *BufferPool) UsedBytes() int64 { return bp.alloc.Used() }
 
@@ -296,13 +332,14 @@ func (bp *BufferPool) notePeak() {
 	}
 }
 
-// allocMem carves size bytes out of the arena. On pressure it kicks the
-// eviction daemon and blocks on its broadcast channel until memory is
-// reclaimed, the policy reports an error, or the deadline passes — no
-// spill I/O ever runs on this path.
-func (bp *BufferPool) allocMem(size int64) (int64, error) {
+// allocMem carves size bytes out of the arena, preferring the caller's
+// home shard (work-stealing into the other shards happens inside the
+// allocator). On pressure it kicks the eviction daemon and blocks on its
+// broadcast channel until memory is reclaimed, the policy reports an
+// error, or the deadline passes — no spill I/O ever runs on this path.
+func (bp *BufferPool) allocMem(size int64, home int) (int64, error) {
 	e := bp.evictor
-	if off, err := bp.alloc.Alloc(size); err == nil {
+	if off, err := bp.alloc.AllocAffinity(size, home); err == nil {
 		bp.notePeak()
 		if bp.alloc.FreeBytes() < bp.cfg.LowWater {
 			e.kick()
@@ -318,7 +355,7 @@ func (bp *BufferPool) allocMem(size int64) (int64, error) {
 		// Observe before the attempt: any reclaim after this point closes
 		// ch, so the retry cannot miss it.
 		ch, seq := e.observe()
-		off, err := bp.alloc.Alloc(size)
+		off, err := bp.alloc.AllocAffinity(size, home)
 		if err == nil {
 			bp.notePeak()
 			return off, nil
@@ -339,11 +376,14 @@ func (bp *BufferPool) allocMem(size int64) (int64, error) {
 			}
 			timer.Reset(bp.cfg.AllocTimeout)
 		case <-timer.C:
-			if off, err := bp.alloc.Alloc(size); err == nil {
+			if off, err := bp.alloc.AllocAffinity(size, home); err == nil {
 				bp.notePeak()
 				return off, nil
 			}
-			return 0, ErrNoEvictable
+			// The daemon may have recorded a policy/spill failure in the
+			// same instant the deadline fired (both select cases ready);
+			// surface the real cause instead of a bare ErrNoEvictable.
+			return 0, e.timeoutErr(seq)
 		}
 	}
 }
@@ -362,9 +402,12 @@ func (bp *BufferPool) evictOnce() (bool, error) {
 		return false, nil
 	}
 
-	// Group the victim refs by owning set, preserving policy order.
+	// Group the victim refs by owning set in a single pass, preserving
+	// policy order within each set (the old per-claim rescan of the whole
+	// victims slice made claiming O(sets × victims)).
 	type claim struct {
 		set    *LocalitySet
+		refs   []PageRef
 		pages  []*Page
 		spills []*Page
 	}
@@ -378,6 +421,7 @@ func (bp *BufferPool) evictOnce() (bool, error) {
 			bySet[s] = c
 			claims = append(claims, c)
 		}
+		c.refs = append(c.refs, ref)
 	}
 	for _, c := range claims {
 		s := c.set
@@ -387,10 +431,7 @@ func (bp *BufferPool) evictOnce() (bool, error) {
 			continue
 		}
 		attrs := s.attrs
-		for _, ref := range victims {
-			if ref.Set.set != s {
-				continue
-			}
+		for _, ref := range c.refs {
 			// Re-validate against live state: the page may have been
 			// pinned, evicted or dropped since the snapshot.
 			p := s.resident[ref.Num]

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io/fs"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -45,6 +47,39 @@ func TestCreateSetAndLookup(t *testing.T) {
 	}
 	if _, err := bp.CreateSet(SetSpec{Name: "zero", PageSize: 0}); err == nil {
 		t.Error("zero page size should fail")
+	}
+}
+
+// TestCreateSetRejectsPageLargerThanShard: a page cannot span allocator
+// shards, so a page size no shard can hold must fail fast at CreateSet —
+// not block for the full AllocTimeout on the first NewPage.
+func TestCreateSetRejectsPageLargerThanShard(t *testing.T) {
+	arr, err := disk.NewArray(t.TempDir(), 1, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	bp, err := NewPool(PoolConfig{Memory: 8 << 20, Array: arr, AllocShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.CreateSet(SetSpec{Name: "huge", PageSize: 3 << 20}); err == nil {
+		t.Fatal("page size above the per-shard maximum must fail at CreateSet")
+	}
+	// A page that fits one 2 MiB shard still works.
+	s, err := bp.CreateSet(SetSpec{Name: "fits", PageSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unpin(p, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.DropSet(s); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -258,6 +293,100 @@ func TestDropSetFreesMemory(t *testing.T) {
 	// Dropping again is a no-op.
 	if err := bp.DropSet(s); err != nil {
 		t.Errorf("second DropSet: %v", err)
+	}
+}
+
+// TestCreateSetConcurrentDuplicate is the regression test for the
+// CreateSet TOCTOU race: two goroutines racing on the same name must
+// produce exactly one winner, no orphan registry entry, and no leaked pfs
+// file from the loser.
+func TestCreateSetConcurrentDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	arr, err := disk.NewArray(dir, 1, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	bp, err := NewPool(PoolConfig{Memory: 1 << 20, Array: arr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 25; round++ {
+		name := fmt.Sprintf("dup%d", round)
+		var wg sync.WaitGroup
+		results := make([]*LocalitySet, 2)
+		errs := make([]error, 2)
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				results[g], errs[g] = bp.CreateSet(SetSpec{Name: name, PageSize: 4096})
+			}(g)
+		}
+		wg.Wait()
+		var winner *LocalitySet
+		wins := 0
+		for g := 0; g < 2; g++ {
+			if errs[g] == nil {
+				wins++
+				winner = results[g]
+			}
+		}
+		if wins != 1 {
+			t.Fatalf("round %d: %d winners, want exactly 1 (errs: %v)", round, wins, errs)
+		}
+		if got, ok := bp.GetSet(name); !ok || got != winner {
+			t.Fatalf("round %d: GetSet(%q) = %v, %v; want the winner", round, name, got, ok)
+		}
+		if err := bp.DropSet(winner); err != nil {
+			t.Fatalf("round %d: DropSet: %v", round, err)
+		}
+	}
+	bp.regMu.RLock()
+	orphans := len(bp.sets)
+	bp.regMu.RUnlock()
+	if orphans != 0 {
+		t.Errorf("%d orphan sets left in the registry", orphans)
+	}
+	// Every winner was dropped; the losers must never have created a file.
+	var leaked []string
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			leaked = append(leaked, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaked) != 0 {
+		t.Errorf("leaked pfs files: %v", leaked)
+	}
+}
+
+// TestCreateSetReleasesReservationOnFileError: a failed pfs.Create must
+// release the name reservation and recycle the ID (no burned nextID).
+func TestCreateSetReleasesReservationOnFileError(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+	bad := "bad\x00name" // NUL makes the OS reject the file path
+	if _, err := bp.CreateSet(SetSpec{Name: bad, PageSize: 4096}); err == nil {
+		t.Fatal("CreateSet with an invalid file name should fail")
+	}
+	s, err := bp.CreateSet(SetSpec{Name: "good", PageSize: 4096})
+	if err != nil {
+		t.Fatalf("CreateSet after a failed create: %v", err)
+	}
+	if s.ID() != 0 {
+		t.Errorf("set ID = %d, want 0: the failed create burned an ID", s.ID())
+	}
+	// The failed name must not be permanently reserved: retrying reports
+	// the file error again, not a duplicate-name error.
+	_, err = bp.CreateSet(SetSpec{Name: bad, PageSize: 4096})
+	if err == nil {
+		t.Fatal("invalid name should still fail")
+	}
+	if err.Error() == fmt.Sprintf("core: set %q already exists", bad) {
+		t.Errorf("reservation leaked: %v", err)
 	}
 }
 

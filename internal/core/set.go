@@ -21,6 +21,7 @@ type LocalitySet struct {
 	id       SetID
 	name     string
 	pageSize int64
+	home     int // home allocator shard; page memory prefers this shard
 
 	// mu guards everything below, plus the mutable fields of this set's
 	// Pages. Each set has its own lock so Pin/Unpin/NewPage traffic on
@@ -128,7 +129,7 @@ func (s *LocalitySet) PageNums() []int64 {
 // The caller must Unpin it when done writing.
 func (s *LocalitySet) NewPage() (*Page, error) {
 	bp := s.pool
-	off, err := bp.allocMem(s.pageSize)
+	off, err := bp.allocMem(s.pageSize, s.home)
 	if err != nil {
 		return nil, fmt.Errorf("core: new page for set %q: %w", s.name, err)
 	}
@@ -190,7 +191,7 @@ func (s *LocalitySet) Pin(num int64) (*Page, error) {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
-	off, err := bp.allocMem(s.pageSize)
+	off, err := bp.allocMem(s.pageSize, s.home)
 	if err != nil {
 		finish()
 		return nil, fmt.Errorf("core: pin page %d of set %q: %w", num, s.name, err)

@@ -165,8 +165,12 @@ func TestPoolConcurrentStress(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Invariants after the storm: accounting is sane and every page that
-	// was fully written survives with its contents intact.
+	// Invariants after the storm: accounting is sane, every allocator
+	// shard's physical chain is intact, and every page that was fully
+	// written survives with its contents intact.
+	if err := bp.alloc.CheckConsistency(); err != nil {
+		t.Fatalf("allocator inconsistent after stress: %v", err)
+	}
 	if used := bp.UsedBytes(); used < 0 || used > bp.Capacity() {
 		t.Fatalf("UsedBytes %d outside [0, %d]", used, bp.Capacity())
 	}
@@ -195,6 +199,110 @@ func TestPoolConcurrentStress(t *testing.T) {
 	}
 	if bp.UsedBytes() != 0 {
 		t.Errorf("UsedBytes = %d after dropping every set, want 0", bp.UsedBytes())
+	}
+}
+
+// TestPoolAllocatorShardStress exercises the sharded allocation path at
+// pool level with a multi-shard arena: workers churn pages on their own
+// sets (each homed on a shard by set ID) and periodically drop/recreate
+// them, while interleaved per-shard consistency checks run. Run with -race.
+func TestPoolAllocatorShardStress(t *testing.T) {
+	const (
+		pageSize = 4 << 10
+		workers  = 8
+		iters    = 400
+	)
+	arr, err := disk.NewArray(t.TempDir(), 1, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	// 8 MiB arena: sharded when the machine has multiple cores (1 MiB
+	// minimum shard size), so workers exercise home routing and stealing.
+	bp, err := NewPool(PoolConfig{Memory: 8 << 20, Array: arr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var workersWG sync.WaitGroup
+	errCh := make(chan error, workers+1)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for w := 0; w < workers; w++ {
+		workersWG.Add(1)
+		go func(w int) {
+			defer workersWG.Done()
+			gen := 0
+			s, err := bp.CreateSet(SetSpec{Name: fmt.Sprintf("w%d.%d", w, gen), PageSize: pageSize})
+			if err != nil {
+				fail(err)
+				return
+			}
+			for it := 0; it < iters; it++ {
+				p, err := s.NewPage()
+				if err != nil {
+					fail(fmt.Errorf("worker %d: NewPage: %w", w, err))
+					return
+				}
+				stamp(p.Bytes(), int64(w), p.Num())
+				if err := s.Unpin(p, false); err != nil {
+					fail(err)
+					return
+				}
+				// Recycle the whole set periodically so the allocator sees
+				// batched frees and fresh home-shard assignments.
+				if s.NumPages() >= 64 {
+					if err := bp.DropSet(s); err != nil {
+						fail(fmt.Errorf("worker %d: DropSet: %w", w, err))
+						return
+					}
+					gen++
+					s, err = bp.CreateSet(SetSpec{Name: fmt.Sprintf("w%d.%d", w, gen), PageSize: pageSize})
+					if err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+			if err := bp.DropSet(s); err != nil {
+				fail(err)
+			}
+		}(w)
+	}
+	// Interleaved consistency checks for as long as the storm runs.
+	stop := make(chan struct{})
+	var checkerWG sync.WaitGroup
+	checkerWG.Add(1)
+	go func() {
+		defer checkerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := bp.alloc.CheckConsistency(); err != nil {
+				fail(fmt.Errorf("mid-stress shard check: %w", err))
+				return
+			}
+		}
+	}()
+	workersWG.Wait()
+	close(stop)
+	checkerWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := bp.UsedBytes(); got != 0 {
+		t.Errorf("UsedBytes = %d after dropping every set, want 0", got)
+	}
+	if err := bp.alloc.CheckConsistency(); err != nil {
+		t.Fatal(err)
 	}
 }
 

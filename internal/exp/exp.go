@@ -122,6 +122,7 @@ var Registry = []struct {
 	{"tab4", Tab4, "key-value aggregation: Go map vs Pangea hashmap vs Redis-like"},
 	{"s7", S7, "colliding objects vs node count and the n/k estimate"},
 	{"s5", S5Concurrency, "parallel Pin/Unpin throughput: shared set vs per-goroutine sets"},
+	{"s5b", S5AllocShards, "parallel page alloc/free throughput: 1 TLSF shard vs one per core"},
 }
 
 // Run executes one experiment by id.

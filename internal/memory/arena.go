@@ -39,3 +39,12 @@ func (a *Arena) Slice(off, n int64) []byte {
 // Bytes exposes the whole arena. Intended for tests and for the data proxy,
 // which shares the arena with computation threads.
 func (a *Arena) Bytes() []byte { return a.buf }
+
+// View returns a sub-arena aliasing bytes [off, off+size) of a. Shards of a
+// sharded allocator each own one non-overlapping view of the pool's arena.
+func (a *Arena) View(off, size int64) *Arena {
+	if off < 0 || size <= 0 || off+size > int64(len(a.buf)) {
+		panic(fmt.Sprintf("memory: view [%d,%d) out of arena bounds %d", off, off+size, len(a.buf)))
+	}
+	return &Arena{buf: a.buf[off : off+size : off+size]}
+}

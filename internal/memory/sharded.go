@@ -1,0 +1,431 @@
+package memory
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Allocator is the arena-allocator interface the buffer pool programs
+// against: shard-affine allocation of variable-sized regions out of a
+// shared arena, identified by 16-byte-aligned offsets. ShardedTLSF is the
+// default implementation; a NUMA-arena allocator can slot in behind the
+// same interface (ROADMAP).
+type Allocator interface {
+	Alloc(n int64) (int64, error)
+	AllocAffinity(n int64, hint int) (int64, error)
+	Free(off int64)
+	UsableSize(off int64) int64
+	MaxAlloc() int64
+	Used() int64
+	FreeBytes() int64
+	NumShards() int
+	HomeShard(hint int) int
+	CheckConsistency() error
+}
+
+var _ Allocator = (*ShardedTLSF)(nil)
+
+const (
+	// minShardBytes keeps shards large enough to hold real pages; arenas
+	// smaller than 2*minShardBytes stay unsharded, so tiny test pools keep
+	// the seed's single-TLSF behaviour.
+	minShardBytes = 1 << 20
+	// maxShards caps the shard count regardless of GOMAXPROCS.
+	maxShards = 64
+	// maxClassesPerShard bounds how many distinct hot sizes a shard caches.
+	maxClassesPerShard = 8
+	// classCapMax bounds a front cache's depth in blocks.
+	classCapMax = 32
+)
+
+// classStack is one size class's front cache: a LIFO stack of user offsets
+// whose blocks all have the exact total size `need`. Freed blocks of a hot
+// page size park here and the next same-size allocation pops one back
+// without touching the shard's TLSF bitmaps or boundary tags.
+type classStack struct {
+	need int64 // exact block size (header included) of every cached block
+	cap  int
+	offs []int64 // global user offsets, LIFO
+}
+
+// tlsfShard is one contiguous arena region with its own TLSF instance and
+// front caches. Lock order: cacheMu before the shard's tlsf.mu, never the
+// reverse.
+type tlsfShard struct {
+	base int64
+	size int64
+	tlsf *TLSF
+
+	// cacheMu guards the front caches: the class table, every class stack,
+	// the cached-offset set (double-free guard) and the cached-bytes total.
+	// Critical sections are a few map/slice operations, so the common
+	// NewPage/Free path of a shard's home sets is a near-lock-free pop/push.
+	cacheMu     sync.Mutex
+	classes     map[int64]*classStack
+	cachedSet   map[int64]struct{}
+	cachedBytes int64
+}
+
+// ShardedTLSF splits one arena into N contiguous TLSF shards (N ≈
+// GOMAXPROCS, power of two), each with its own mutex, bitmaps and free
+// lists, fronted by small per-size-class caches refilled and drained in
+// batches. Allocations carry a home-shard hint (the pool routes by locality
+// set); on exhaustion the allocator steals from the other shards in ring
+// order and, as a last resort, drains every front cache so parked blocks
+// can coalesce before reporting ErrOutOfMemory. Used and FreeBytes
+// aggregate across shards and count cache-parked blocks as free.
+type ShardedTLSF struct {
+	arena     *Arena
+	shards    []*tlsfShard
+	shardSize int64
+	total     int64         // usable (16-aligned) arena bytes across shards
+	used      atomic.Int64  // aggregate bytes handed out; cached blocks count free
+	rr        atomic.Uint32 // round-robin homes for hint-less Alloc
+}
+
+// shardCount resolves the shard count for a 16-aligned arena size: <= 0
+// selects ~GOMAXPROCS; any value is rounded up to a power of two, capped
+// at maxShards, and reduced until every shard holds at least minShardBytes
+// (so small arenas degrade to a single shard).
+func shardCount(total int64, nshards int) int {
+	n := nshards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	for n > 1 && total/int64(n) < minShardBytes {
+		n >>= 1
+	}
+	return n
+}
+
+// DefaultShardCount reports how many shards NewShardedTLSF would create
+// for an arena of the given size under the automatic (GOMAXPROCS) policy,
+// without building anything.
+func DefaultShardCount(arenaBytes int64) int {
+	return shardCount(arenaBytes&^(tlsfAlign-1), 0)
+}
+
+// NewShardedTLSF builds a sharded allocator over the whole arena; see
+// shardCount for how nshards is resolved.
+func NewShardedTLSF(a *Arena, nshards int) *ShardedTLSF {
+	total := a.Size() &^ (tlsfAlign - 1)
+	n := shardCount(total, nshards)
+	s := &ShardedTLSF{arena: a, shardSize: (total / int64(n)) &^ (tlsfAlign - 1), total: total}
+	for i := 0; i < n; i++ {
+		base := int64(i) * s.shardSize
+		size := s.shardSize
+		if i == n-1 {
+			size = total - base
+		}
+		s.shards = append(s.shards, &tlsfShard{
+			base:      base,
+			size:      size,
+			tlsf:      NewTLSF(a.View(base, size)),
+			classes:   make(map[int64]*classStack),
+			cachedSet: make(map[int64]struct{}),
+		})
+	}
+	return s
+}
+
+// NumShards reports how many TLSF shards the arena was split into.
+func (s *ShardedTLSF) NumShards() int { return len(s.shards) }
+
+// HomeShard maps an affinity hint (e.g. a locality-set ID) to its home
+// shard index.
+func (s *ShardedTLSF) HomeShard(hint int) int {
+	return int(uint(hint) & uint(len(s.shards)-1))
+}
+
+func (s *ShardedTLSF) shardFor(userOff int64) *tlsfShard {
+	i := (userOff - headerSize) / s.shardSize
+	if i >= int64(len(s.shards)) {
+		i = int64(len(s.shards)) - 1
+	}
+	return s.shards[i]
+}
+
+// capFor sizes a front cache so no class can park more than 1/16 of its
+// shard; classes too large to cache at least two blocks are not cached.
+func (sh *tlsfShard) capFor(need int64) int {
+	c := sh.size / (16 * need)
+	if c > classCapMax {
+		c = classCapMax
+	}
+	if c < 2 {
+		return 0
+	}
+	return int(c)
+}
+
+// Alloc reserves n bytes from a round-robin home shard. Pool code uses
+// AllocAffinity so a locality set's pages stay on its home shard.
+func (s *ShardedTLSF) Alloc(n int64) (int64, error) {
+	return s.AllocAffinity(n, int(s.rr.Add(1)))
+}
+
+// AllocAffinity reserves n bytes, preferring the home shard that the hint
+// maps to: front cache first, then the home TLSF (refilling the cache in
+// the same batch), then work-stealing from the other shards, then a full
+// cache drain so parked blocks can coalesce.
+func (s *ShardedTLSF) AllocAffinity(n int64, hint int) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("memory: invalid allocation size %d", n)
+	}
+	ns := len(s.shards)
+	need := blockNeed(n)
+	h := s.HomeShard(hint)
+
+	if off, ok := s.shards[h].popCached(need); ok {
+		s.used.Add(need)
+		return off, nil
+	}
+	if off, ok := s.shards[h].allocRefill(n, need); ok {
+		return s.granted(s.shards[h], off), nil
+	}
+	for d := 1; d < ns; d++ {
+		sh := s.shards[(h+d)%ns]
+		if off, ok := sh.popCached(need); ok {
+			s.used.Add(need)
+			return off, nil
+		}
+		if off, err := sh.tlsf.Alloc(n); err == nil {
+			return s.granted(sh, sh.base+off), nil
+		}
+	}
+	// Retry unconditionally after the drain: even when our own drain found
+	// nothing, a concurrent drain or an in-flight cache overflow may have
+	// just returned blocks to a TLSF our steal loop had already passed.
+	s.drainAll()
+	for d := 0; d < ns; d++ {
+		sh := s.shards[(h+d)%ns]
+		if off, err := sh.tlsf.Alloc(n); err == nil {
+			return s.granted(sh, sh.base+off), nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+// granted records a fresh TLSF grant in the aggregate used counter (the
+// granted block can be slightly larger than requested when a remainder was
+// too small to split) and returns the offset unchanged.
+func (s *ShardedTLSF) granted(sh *tlsfShard, userOff int64) int64 {
+	s.used.Add(int64(sh.tlsf.header(userOff-sh.base) &^ 1))
+	return userOff
+}
+
+// popCached pops a parked block of the exact class off the front cache.
+func (sh *tlsfShard) popCached(need int64) (int64, bool) {
+	sh.cacheMu.Lock()
+	cls := sh.classes[need]
+	if cls == nil || len(cls.offs) == 0 {
+		sh.cacheMu.Unlock()
+		return 0, false
+	}
+	off := cls.offs[len(cls.offs)-1]
+	cls.offs = cls.offs[:len(cls.offs)-1]
+	delete(sh.cachedSet, off)
+	sh.cachedBytes -= need
+	sh.cacheMu.Unlock()
+	return off, true
+}
+
+// allocRefill allocates from the shard's TLSF, topping up the size class's
+// front cache in the same batch (one TLSF lock acquisition). Hot sizes are
+// discovered here: the first cache miss for a cacheable size creates its
+// class.
+func (sh *tlsfShard) allocRefill(n, need int64) (int64, bool) {
+	sh.cacheMu.Lock()
+	cls := sh.classes[need]
+	if cls == nil && len(sh.classes) < maxClassesPerShard {
+		if c := sh.capFor(need); c > 0 {
+			cls = &classStack{need: need, cap: c}
+			sh.classes[need] = cls
+		}
+	}
+	want := 1
+	if cls != nil {
+		want = cls.cap/4 + 1
+		if want > 8 {
+			want = 8
+		}
+		if room := cls.cap - len(cls.offs); want > room+1 {
+			want = room + 1
+		}
+	}
+	sh.cacheMu.Unlock()
+
+	offs := sh.tlsf.AllocBatch(n, want, nil)
+	if len(offs) == 0 {
+		return 0, false
+	}
+	ret := sh.base + offs[0]
+	if len(offs) == 1 {
+		return ret, true
+	}
+	// Park exact-size spares in the front cache; anything oversized (an
+	// unsplit remainder) or overflowing goes straight back to the TLSF.
+	var freeBack []int64
+	sh.cacheMu.Lock()
+	for _, lo := range offs[1:] {
+		if cls != nil && int64(sh.tlsf.header(lo)&^1) == need && len(cls.offs) < cls.cap {
+			g := sh.base + lo
+			cls.offs = append(cls.offs, g)
+			sh.cachedSet[g] = struct{}{}
+			sh.cachedBytes += need
+		} else {
+			freeBack = append(freeBack, lo)
+		}
+	}
+	sh.cacheMu.Unlock()
+	sh.tlsf.FreeBatch(freeBack)
+	return ret, true
+}
+
+// Free releases a region previously returned by Alloc/AllocAffinity. Blocks
+// of a cached size class park in their shard's front cache; when a cache
+// overflows, the coldest half drains back to the TLSF in one batch.
+func (s *ShardedTLSF) Free(userOff int64) {
+	sh := s.shardFor(userOff)
+	local := userOff - sh.base
+	hdr := sh.tlsf.header(local)
+	if hdr&1 == 1 {
+		panic(fmt.Sprintf("memory: double free at offset %d", userOff))
+	}
+	size := int64(hdr &^ 1)
+
+	sh.cacheMu.Lock()
+	if _, dup := sh.cachedSet[userOff]; dup {
+		sh.cacheMu.Unlock()
+		panic(fmt.Sprintf("memory: double free at offset %d (block is parked in a front cache)", userOff))
+	}
+	s.used.Add(-size)
+	cls := sh.classes[size]
+	if cls == nil {
+		sh.cacheMu.Unlock()
+		sh.tlsf.Free(local)
+		return
+	}
+	var drain []int64
+	if len(cls.offs) >= cls.cap {
+		half := len(cls.offs) / 2
+		if half == 0 {
+			half = len(cls.offs)
+		}
+		drain = make([]int64, half)
+		for i, g := range cls.offs[:half] {
+			drain[i] = g - sh.base
+			delete(sh.cachedSet, g)
+		}
+		n := copy(cls.offs, cls.offs[half:])
+		cls.offs = cls.offs[:n]
+		sh.cachedBytes -= int64(half) * size
+	}
+	cls.offs = append(cls.offs, userOff)
+	sh.cachedSet[userOff] = struct{}{}
+	sh.cachedBytes += size
+	sh.cacheMu.Unlock()
+	sh.tlsf.FreeBatch(drain)
+}
+
+// drainAll returns every cache-parked block to its shard's TLSF so the
+// memory can coalesce and serve other sizes.
+func (s *ShardedTLSF) drainAll() {
+	for _, sh := range s.shards {
+		sh.cacheMu.Lock()
+		var offs []int64
+		for _, cls := range sh.classes {
+			for _, g := range cls.offs {
+				offs = append(offs, g-sh.base)
+				delete(sh.cachedSet, g)
+			}
+			sh.cachedBytes -= cls.need * int64(len(cls.offs))
+			cls.offs = cls.offs[:0]
+		}
+		sh.cacheMu.Unlock()
+		sh.tlsf.FreeBatch(offs)
+	}
+}
+
+// UsableSize reports the payload capacity of an allocated region.
+func (s *ShardedTLSF) UsableSize(userOff int64) int64 {
+	sh := s.shardFor(userOff)
+	return sh.tlsf.UsableSize(userOff - sh.base)
+}
+
+// MaxAlloc returns the largest single allocation the allocator can
+// satisfy when empty: one block spanning the largest shard, rounded down
+// to what mappingSearch's class round-up can actually find. CreateSet
+// validates page sizes against this, since a page cannot span shards.
+func (s *ShardedTLSF) MaxAlloc() int64 {
+	// The last shard absorbs the division remainder, so it is the largest.
+	sh := s.shards[len(s.shards)-1]
+	return classFloor(sh.size&^(tlsfAlign-1)) - headerSize
+}
+
+// Used returns the bytes currently handed out to callers (including block
+// headers). Blocks parked in front caches count as free: they are
+// reusable by any allocation after a drain. Maintained as one atomic
+// aggregate so the hot allocation path never sweeps every shard's locks
+// for its peak-usage and watermark checks.
+func (s *ShardedTLSF) Used() int64 { return s.used.Load() }
+
+// FreeBytes returns the bytes not currently allocated, aggregated across
+// shards; the eviction daemon's watermarks compare against this total.
+func (s *ShardedTLSF) FreeBytes() int64 { return s.total - s.used.Load() }
+
+// CheckShard verifies shard i: front-cache accounting (every parked block
+// allocated, exact-sized, and counted once) plus the shard TLSF's physical
+// chain invariants. Safe to call concurrently with allocation traffic.
+func (s *ShardedTLSF) CheckShard(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("memory: no shard %d", i)
+	}
+	sh := s.shards[i]
+	sh.cacheMu.Lock()
+	defer sh.cacheMu.Unlock()
+	var cached int64
+	entries := 0
+	for need, cls := range sh.classes {
+		for _, g := range cls.offs {
+			if _, ok := sh.cachedSet[g]; !ok {
+				return fmt.Errorf("shard %d: cached block %d missing from cached set", i, g)
+			}
+			hdr := sh.tlsf.header(g - sh.base)
+			if hdr&1 == 1 {
+				return fmt.Errorf("shard %d: cached block %d marked free", i, g)
+			}
+			if int64(hdr&^1) != need {
+				return fmt.Errorf("shard %d: cached block %d has size %d in class %d", i, g, hdr&^1, need)
+			}
+			cached += need
+			entries++
+		}
+	}
+	if entries != len(sh.cachedSet) {
+		return fmt.Errorf("shard %d: %d cached blocks but %d set entries", i, entries, len(sh.cachedSet))
+	}
+	if cached != sh.cachedBytes {
+		return fmt.Errorf("shard %d: cachedBytes %d, stacks hold %d", i, sh.cachedBytes, cached)
+	}
+	return sh.tlsf.CheckConsistency()
+}
+
+// CheckConsistency checks every shard; tests call it after stress runs.
+func (s *ShardedTLSF) CheckConsistency() error {
+	for i := range s.shards {
+		if err := s.CheckShard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package memory
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestShardedBasicAllocFree(t *testing.T) {
+	s := NewShardedTLSF(NewArena(8<<20), 4)
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", s.NumShards())
+	}
+	off, err := s.AllocAffinity(1000, 2)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if off%16 != 0 {
+		t.Fatalf("offset %d not 16-aligned", off)
+	}
+	if got := s.UsableSize(off); got < 1000 {
+		t.Fatalf("UsableSize = %d, want >= 1000", got)
+	}
+	s.Free(off)
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 0 {
+		t.Fatalf("Used = %d after freeing everything", s.Used())
+	}
+}
+
+// TestShardedTinyArenaStaysSingle: arenas too small to shard keep the
+// seed's single-TLSF layout, so tiny test pools behave exactly as before.
+func TestShardedTinyArenaStaysSingle(t *testing.T) {
+	if got := NewShardedTLSF(NewArena(64<<10), 0).NumShards(); got != 1 {
+		t.Fatalf("64 KiB arena got %d shards, want 1", got)
+	}
+	if got := NewShardedTLSF(NewArena(64<<10), 8).NumShards(); got != 1 {
+		t.Fatalf("forced shards on tiny arena got %d, want 1", got)
+	}
+}
+
+// TestShardedHomeRouting: allocations with the same hint land in the home
+// shard while it has space.
+func TestShardedHomeRouting(t *testing.T) {
+	s := NewShardedTLSF(NewArena(4<<20), 4)
+	for hint := 0; hint < 8; hint++ {
+		home := s.HomeShard(hint)
+		off, err := s.AllocAffinity(4096, hint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := s.shards[home]
+		if off < sh.base || off >= sh.base+sh.size {
+			t.Errorf("hint %d: offset %d outside home shard %d [%d,%d)", hint, off, home, sh.base, sh.base+sh.size)
+		}
+		s.Free(off)
+	}
+}
+
+// TestShardedSteal: a single hot hint must be able to consume the whole
+// arena, overflowing from its exhausted home shard into the others.
+func TestShardedSteal(t *testing.T) {
+	s := NewShardedTLSF(NewArena(4<<20), 4)
+	var offs []int64
+	for {
+		off, err := s.AllocAffinity(64<<10, 0) // all traffic homed on shard 0
+		if errors.Is(err, ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	// 4 MiB arena, 64 KiB pages: stealing must get well past one shard.
+	if len(offs) < 48 {
+		t.Fatalf("only %d×64KiB allocated from a 4 MiB arena; stealing failed", len(offs))
+	}
+	for _, off := range offs {
+		s.Free(off)
+	}
+	if s.Used() != 0 {
+		t.Fatalf("leaked %d bytes", s.Used())
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedFrontCacheRecycles: a free followed by a same-size alloc on
+// the same home must be served by the front cache (same block back).
+func TestShardedFrontCacheRecycles(t *testing.T) {
+	s := NewShardedTLSF(NewArena(8<<20), 2)
+	a, err := s.AllocAffinity(4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Free(a)
+	b, err := s.AllocAffinity(4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("front cache miss: freed %d, re-alloc got %d", a, b)
+	}
+	s.Free(b)
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedDrainServesLargeAlloc: blocks parked in front caches must be
+// drained and coalesced when a large allocation needs the space.
+func TestShardedDrainServesLargeAlloc(t *testing.T) {
+	s := NewShardedTLSF(NewArena(2<<20), 1)
+	var offs []int64
+	for {
+		off, err := s.AllocAffinity(4096, 0)
+		if errors.Is(err, ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	for _, off := range offs {
+		s.Free(off) // many of these park in the 4 KiB front cache
+	}
+	// Nearly the whole arena: only possible after a full drain + coalesce.
+	big, err := s.Alloc(2<<20 - 64)
+	if err != nil {
+		t.Fatalf("large alloc after frees: %v", err)
+	}
+	s.Free(big)
+	if s.Used() != 0 {
+		t.Fatalf("leaked %d bytes", s.Used())
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedMaxAllocSatisfiable: an allocation of exactly MaxAlloc bytes
+// must succeed on an empty allocator for awkward arena sizes too — the
+// promise CreateSet's page-size validation relies on (TLSF's class
+// round-up must not make the reported maximum unreachable).
+func TestShardedMaxAllocSatisfiable(t *testing.T) {
+	for _, size := range []int64{1 << 20, 2<<20 + 16, 12_345_678, 100_000_000} {
+		for _, shards := range []int{1, 4, 8} {
+			s := NewShardedTLSF(NewArena(size), shards)
+			max := s.MaxAlloc()
+			off, err := s.AllocAffinity(max, 0)
+			if err != nil {
+				t.Errorf("arena %d, %d shards: Alloc(MaxAlloc=%d) failed: %v", size, s.NumShards(), max, err)
+				continue
+			}
+			s.Free(off)
+			if s.Used() != 0 {
+				t.Errorf("arena %d, %d shards: leaked %d bytes", size, s.NumShards(), s.Used())
+			}
+		}
+	}
+}
+
+func TestShardedDoubleFreePanics(t *testing.T) {
+	s := NewShardedTLSF(NewArena(8<<20), 2)
+	off, err := s.AllocAffinity(4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Free(off) // parks in the front cache
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free of a cached block")
+		}
+	}()
+	s.Free(off)
+}
+
+// TestShardedRandomized is the single-goroutine property test: any
+// interleaving of affinity allocs and frees leaves every shard consistent
+// and recovers all memory.
+func TestShardedRandomized(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewShardedTLSF(NewArena(4<<20), 4)
+		type alloc struct{ off, size int64 }
+		var live []alloc
+		for i := 0; i < 400; i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				j := rng.Intn(len(live))
+				s.Free(live[j].off)
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				sz := int64(1 + rng.Intn(16000))
+				off, err := s.AllocAffinity(sz, rng.Intn(8))
+				if err != nil {
+					continue // exhausted; fine
+				}
+				live = append(live, alloc{off, sz})
+			}
+		}
+		if err := s.CheckConsistency(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, l := range live {
+			s.Free(l.off)
+		}
+		if s.Used() != 0 {
+			t.Logf("seed %d: leaked %d bytes", seed, s.Used())
+			return false
+		}
+		return s.CheckConsistency() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedConcurrentStress is the randomized concurrency property test:
+// goroutines alloc/free across shards (each biased to its own home, with a
+// slice of cross-shard traffic) while a checker goroutine interleaves
+// CheckConsistency on every shard. Run with -race.
+func TestShardedConcurrentStress(t *testing.T) {
+	const workers = 8
+	s := NewShardedTLSF(NewArena(16<<20), 4)
+	stop := make(chan struct{})
+	checkErr := make(chan error, 1)
+	var checker sync.WaitGroup
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < s.NumShards(); i++ {
+				if err := s.CheckShard(i); err != nil {
+					select {
+					case checkErr <- err:
+					default:
+					}
+					return
+				}
+			}
+		}
+	}()
+
+	sizes := []int64{80, 512, 4096, 4096, 4096, 64 << 10, 100_000}
+	var wg sync.WaitGroup
+	workerErr := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var live []int64
+			for i := 0; i < 3000; i++ {
+				if len(live) > 24 || (len(live) > 0 && rng.Intn(2) == 0) {
+					j := rng.Intn(len(live))
+					s.Free(live[j])
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+					continue
+				}
+				hint := w
+				if rng.Intn(8) == 0 {
+					hint = rng.Intn(workers) // cross-shard traffic
+				}
+				off, err := s.AllocAffinity(sizes[rng.Intn(len(sizes))], hint)
+				if errors.Is(err, ErrOutOfMemory) {
+					continue
+				}
+				if err != nil {
+					workerErr <- err
+					return
+				}
+				live = append(live, off)
+			}
+			for _, off := range live {
+				s.Free(off)
+			}
+			workerErr <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	checker.Wait()
+	close(workerErr)
+	for err := range workerErr {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-checkErr:
+		t.Fatalf("mid-stress consistency check: %v", err)
+	default:
+	}
+	if s.Used() != 0 {
+		t.Fatalf("leaked %d bytes after concurrent stress", s.Used())
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkShardedTLSFAllocFree(b *testing.B) {
+	s := NewShardedTLSF(NewArena(64<<20), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off, err := s.AllocAffinity(4096, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Free(off)
+	}
+}

@@ -111,6 +111,19 @@ func mappingSearch(size int64) (int, int) {
 	return mappingInsert(size)
 }
 
+// classFloor rounds size down to its size class's lower bound: the largest
+// request that mappingSearch still resolves to (or below) the class a free
+// block of this size is inserted into. A lone free block of `size` bytes
+// can satisfy any request needing at most classFloor(size) total bytes.
+func classFloor(size int64) int64 {
+	fl := bits.Len64(uint64(size)) - 1
+	if fl <= sli {
+		return size // classes this small are exact
+	}
+	g := int64(1) << (uint(fl) - sli)
+	return size &^ (g - 1)
+}
+
 // --- free-list maintenance -------------------------------------------------
 
 func (t *TLSF) insert(o, size int64) {
@@ -162,23 +175,59 @@ func (t *TLSF) findSuitable(fl, sl int) (int, int, bool) {
 
 // --- public API -------------------------------------------------------------
 
+// blockNeed returns the total block size (header included) that a request
+// of n payload bytes occupies. Exported within the package so the sharded
+// allocator can key its front caches by exact block size.
+func blockNeed(n int64) int64 {
+	need := align16(n) + headerSize
+	if need < minBlock {
+		need = minBlock
+	}
+	return need
+}
+
 // Alloc reserves n bytes and returns the offset of the usable region within
 // the arena. The region is 16-byte aligned.
 func (t *TLSF) Alloc(n int64) (int64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("memory: invalid allocation size %d", n)
 	}
-	need := align16(n) + headerSize
-	if need < minBlock {
-		need = minBlock
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	off, ok := t.allocLocked(blockNeed(n))
+	if !ok {
+		return 0, ErrOutOfMemory
+	}
+	return off, nil
+}
 
+// AllocBatch reserves up to max blocks of n bytes each under a single lock
+// acquisition, appending their user offsets to dst. It stops early when the
+// allocator is exhausted; callers check len(result) for how many they got.
+func (t *TLSF) AllocBatch(n int64, max int, dst []int64) []int64 {
+	if n <= 0 || max <= 0 {
+		return dst
+	}
+	need := blockNeed(n)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < max; i++ {
+		off, ok := t.allocLocked(need)
+		if !ok {
+			break
+		}
+		dst = append(dst, off)
+	}
+	return dst
+}
+
+// allocLocked carves one block of exactly need total bytes (header included)
+// out of the free lists. Caller holds t.mu.
+func (t *TLSF) allocLocked(need int64) (int64, bool) {
 	fl, sl := mappingSearch(need)
 	fl, sl, ok := t.findSuitable(fl, sl)
 	if !ok {
-		return 0, ErrOutOfMemory
+		return 0, false
 	}
 	o := t.freeHead[fl][sl]
 	t.remove(o)
@@ -196,7 +245,7 @@ func (t *TLSF) Alloc(n int64) (int64, error) {
 	}
 	t.setSize(o, size, false)
 	t.used += size
-	return o + headerSize, nil
+	return o + headerSize, true
 }
 
 // Free releases a region previously returned by Alloc, coalescing with
@@ -204,6 +253,29 @@ func (t *TLSF) Alloc(n int64) (int64, error) {
 func (t *TLSF) Free(userOff int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.freeLocked(userOff)
+}
+
+// FreeBatch releases every offset under a single lock acquisition; the
+// sharded allocator drains front caches through it.
+func (t *TLSF) FreeBatch(offs []int64) {
+	if len(offs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, off := range offs {
+		t.freeLocked(off)
+	}
+}
+
+// header returns the raw size|flags word of an allocated block without
+// taking the allocator lock. Safe only for the block's current owner: TLSF
+// never writes the first header word of an allocated block (coalescing
+// touches only its prev-phys word).
+func (t *TLSF) header(userOff int64) uint64 { return t.u64(userOff - headerSize) }
+
+func (t *TLSF) freeLocked(userOff int64) {
 	o := userOff - headerSize
 	if t.isFree(o) {
 		panic(fmt.Sprintf("memory: double free at offset %d", userOff))
