@@ -1,0 +1,187 @@
+package main
+
+// The bench-regression gate: CI renders `go test -bench` output to a JSON
+// artifact per push (-render) and fails the build when a benchmark's ns/op
+// regresses past a threshold against the previous run's artifact, or the
+// committed bench_baseline.json when no artifact is reachable (-gate).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// BenchRow is one benchmark result.
+type BenchRow struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// BenchFile is the BENCH_pool.json artifact schema.
+type BenchFile struct {
+	Benchmarks []BenchRow `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkSpillParallel/drives=4-8   2   78011343 ns/op   215.06 MB/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op`)
+
+// procSuffix is the trailing -GOMAXPROCS that `go test` appends to every
+// benchmark name. It is stripped at parse time: CI runners (and the
+// committed baseline) differ in core count, and keeping the suffix would
+// make every cross-machine comparison silently skip as "unmatched".
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchText extracts benchmark rows from `go test -bench` output.
+// Repeated names (e.g. from -count or concatenated runs) keep the last
+// occurrence.
+func parseBenchText(r io.Reader) ([]BenchRow, error) {
+	byName := map[string]BenchRow{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		if _, seen := byName[name]; !seen {
+			order = append(order, name)
+		}
+		byName[name] = BenchRow{Name: name, Iterations: iters, NsPerOp: ns}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rows := make([]BenchRow, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, byName[name])
+	}
+	return rows, nil
+}
+
+func readBenchJSON(path string) ([]BenchRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Benchmarks, nil
+}
+
+func writeBenchJSON(w io.Writer, rows []BenchRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BenchFile{Benchmarks: rows})
+}
+
+// gateResult is one benchmark's verdict from gate.
+type gateResult struct {
+	Name       string
+	BaseNs     float64
+	CurNs      float64
+	Ratio      float64 // cur/base
+	Regression bool
+}
+
+// gate compares current ns/op against a baseline. A benchmark regresses
+// when its ns/op grew by more than threshold (0.25 = +25%). Benchmarks
+// present on only one side are reported but never fail the gate — CI would
+// otherwise break on every benchmark added or retired.
+func gate(baseline, current []BenchRow, threshold float64) (results []gateResult, onlyBase, onlyCur []string) {
+	// Normalize both sides' names (older artifacts — e.g. ones rendered
+	// before the Go tool existed — may still carry the -GOMAXPROCS
+	// suffix); without this the first gated run would match nothing and
+	// pass vacuously.
+	norm := func(rows []BenchRow) []BenchRow {
+		out := make([]BenchRow, len(rows))
+		for i, r := range rows {
+			r.Name = procSuffix.ReplaceAllString(r.Name, "")
+			out[i] = r
+		}
+		return out
+	}
+	baseline, current = norm(baseline), norm(current)
+	base := map[string]BenchRow{}
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, cur := range current {
+		b, ok := base[cur.Name]
+		if !ok {
+			onlyCur = append(onlyCur, cur.Name)
+			continue
+		}
+		seen[cur.Name] = true
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		results = append(results, gateResult{
+			Name:       cur.Name,
+			BaseNs:     b.NsPerOp,
+			CurNs:      cur.NsPerOp,
+			Ratio:      ratio,
+			Regression: ratio > 1+threshold,
+		})
+	}
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			onlyBase = append(onlyBase, b.Name)
+		}
+	}
+	sort.Strings(onlyBase)
+	sort.Strings(onlyCur)
+	return results, onlyBase, onlyCur
+}
+
+// runGate prints a comparison report to w and reports how many benchmarks
+// regressed past the threshold.
+func runGate(w io.Writer, baselinePath, currentPath string, threshold float64) (regressions int, err error) {
+	baseline, err := readBenchJSON(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	current, err := readBenchJSON(currentPath)
+	if err != nil {
+		return 0, err
+	}
+	results, onlyBase, onlyCur := gate(baseline, current, threshold)
+	fmt.Fprintf(w, "bench gate: %d benchmarks compared, threshold +%.0f%%\n", len(results), threshold*100)
+	for _, r := range results {
+		verdict := "ok"
+		if r.Regression {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-60s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+			r.Name, r.BaseNs, r.CurNs, (r.Ratio-1)*100, verdict)
+	}
+	for _, name := range onlyBase {
+		fmt.Fprintf(w, "  %-60s only in baseline (skipped)\n", name)
+	}
+	for _, name := range onlyCur {
+		fmt.Fprintf(w, "  %-60s only in current run (skipped)\n", name)
+	}
+	return regressions, nil
+}

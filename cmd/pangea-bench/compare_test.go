@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: pangea
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPoolParallel-8         	 1000000	      1042 ns/op
+BenchmarkSpillParallel/drives=1-8 	       2	 227232485 ns/op	  73.83 MB/s
+BenchmarkSpillParallel/drives=4-8 	       2	  78011343 ns/op	 215.06 MB/s
+PASS
+ok  	pangea	1.384s
+`
+
+func TestParseBenchText(t *testing.T) {
+	rows, err := parseBenchText(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("parsed %d rows, want 3", len(rows))
+	}
+	if rows[0].Name != "BenchmarkPoolParallel" || rows[0].NsPerOp != 1042 || rows[0].Iterations != 1000000 {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if rows[2].Name != "BenchmarkSpillParallel/drives=4" || rows[2].NsPerOp != 78011343 {
+		t.Fatalf("row 2 = %+v", rows[2])
+	}
+}
+
+func TestParseBenchTextKeepsLastDuplicate(t *testing.T) {
+	text := "BenchmarkX-8 10 100 ns/op\nBenchmarkX-8 10 200 ns/op\n"
+	rows, err := parseBenchText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].NsPerOp != 200 {
+		t.Fatalf("rows = %+v, want one row at 200 ns/op", rows)
+	}
+}
+
+func writeArtifact(t *testing.T, dir, name string, rows []BenchRow) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var buf bytes.Buffer
+	if err := writeBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateFailsOnInjectedRegression is the acceptance check for the CI
+// gate: a >25% ns/op regression must fail, smaller drift must not.
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", []BenchRow{
+		{Name: "BenchmarkPoolParallel-8", Iterations: 100, NsPerOp: 1000},
+		{Name: "BenchmarkSpillParallel/drives=4-8", Iterations: 2, NsPerOp: 80e6},
+	})
+
+	// +30% on one benchmark: one regression.
+	cur := writeArtifact(t, dir, "cur.json", []BenchRow{
+		{Name: "BenchmarkPoolParallel-8", Iterations: 100, NsPerOp: 1300},
+		{Name: "BenchmarkSpillParallel/drives=4-8", Iterations: 2, NsPerOp: 80e6},
+	})
+	var out bytes.Buffer
+	n, err := runGate(&out, base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("report does not flag the regression:\n%s", out.String())
+	}
+
+	// +20% stays under the 25% threshold: clean.
+	cur = writeArtifact(t, dir, "cur2.json", []BenchRow{
+		{Name: "BenchmarkPoolParallel-8", Iterations: 100, NsPerOp: 1200},
+		{Name: "BenchmarkSpillParallel/drives=4-8", Iterations: 2, NsPerOp: 60e6},
+	})
+	out.Reset()
+	if n, err = runGate(&out, base, cur, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, out.String())
+	}
+}
+
+func TestGateSkipsUnmatchedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", []BenchRow{
+		{Name: "BenchmarkRetired-8", NsPerOp: 50},
+		{Name: "BenchmarkShared-8", NsPerOp: 100},
+	})
+	cur := writeArtifact(t, dir, "cur.json", []BenchRow{
+		{Name: "BenchmarkShared-8", NsPerOp: 100},
+		{Name: "BenchmarkBrandNew-8", NsPerOp: 1e9},
+	})
+	var out bytes.Buffer
+	n, err := runGate(&out, base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("unmatched benchmarks failed the gate: %d regressions\n%s", n, out.String())
+	}
+	for _, want := range []string{"only in baseline", "only in current run"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	if err := renderMain(in, out); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := readBenchJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[1].Name != "BenchmarkSpillParallel/drives=1" {
+		t.Fatalf("round-trip rows = %+v", rows)
+	}
+}

@@ -69,6 +69,11 @@ type PoolStats struct {
 	Spills      atomic.Int64 // dirty pages written back on eviction
 	Loads       atomic.Int64 // pages read from disk on pin miss
 	FlushWrites atomic.Int64 // write-through flushes at unpin time
+	// SpillsInFlight is the number of victim write-backs currently queued
+	// on or executing in the per-drive spill writers. It is zero whenever
+	// the daemon is between batches: evictOnce waits for the whole batch
+	// before releasing any page frame.
+	SpillsInFlight atomic.Int64
 }
 
 // ErrNoEvictable is returned when an allocation cannot be satisfied because
@@ -100,6 +105,7 @@ type BufferPool struct {
 	nextID   SetID
 
 	evictor *evictor
+	spill   *spillPipeline
 
 	tick atomic.Int64
 	peak atomic.Int64
@@ -150,6 +156,7 @@ func NewPool(cfg PoolConfig) (*BufferPool, error) {
 		reserved: make(map[string]bool),
 	}
 	bp.evictor = newEvictor(bp)
+	bp.spill = newSpillPipeline(bp, cfg.Array)
 	return bp, nil
 }
 
@@ -363,6 +370,17 @@ func (bp *BufferPool) allocMem(size int64, home int) (int64, error) {
 		e.kick()
 		select {
 		case <-ch:
+			// Retry before consulting errSince: a partially failed spill
+			// round records its first error but still releases the victims
+			// whose writes landed, and freed memory that satisfies this
+			// allocation beats reporting another victim's I/O failure. An
+			// allocator that stays stuck keeps seeing the error — every
+			// failed retry re-kicks the daemon, whose next failing round
+			// re-records it.
+			if off, aerr := bp.alloc.AllocAffinity(size, home); aerr == nil {
+				bp.notePeak()
+				return off, nil
+			}
 			if err := e.errSince(seq); err != nil {
 				return 0, err
 			}
@@ -447,16 +465,26 @@ func (bp *BufferPool) evictOnce() (bool, error) {
 		s.mu.Unlock()
 	}
 
-	// Batched write-back of dirty alive victims, outside all locks.
-	var spillErr error
-spill:
+	// Write-back of dirty alive victims, outside all locks: assign every
+	// victim its on-disk location (the only step that needs the file's
+	// index lock), then fan the writes out by drive to the per-drive
+	// writers — a 4-drive array lands ~4 victims concurrently where the
+	// old loop wrote them one at a time. writeBatch returns only after
+	// every writer in the batch has landed, so no page reference outlives
+	// this call and the eviction claims below still cover the frames.
+	var jobs []*spillJob
 	for _, c := range claims {
 		for _, p := range c.spills {
-			if err := c.set.file.WritePage(p.num, p.Bytes()); err != nil {
-				spillErr = err
-				break spill
+			jobs = append(jobs, &spillJob{set: c.set, page: p, loc: c.set.file.PlacePage(p.num)})
+		}
+	}
+	spillErr := bp.spill.writeBatch(jobs)
+	failed := make(map[*Page]bool)
+	if spillErr != nil {
+		for _, j := range jobs {
+			if j.err != nil {
+				failed[j.page] = true
 			}
-			bp.stats.Spills.Add(1)
 		}
 	}
 
@@ -466,8 +494,13 @@ spill:
 		var offs []int64
 		s.mu.Lock()
 		for _, p := range c.pages {
-			if spillErr != nil {
-				p.evicting = false // abort eviction, keep pages resident
+			if failed[p] {
+				// This victim's own write-back failed: keep it resident
+				// and dirty, and clear the claim so a later round (or a
+				// healthy drive) can retry. Victims whose writes landed —
+				// and clean victims, which already have an on-disk image —
+				// are still released below.
+				p.evicting = false
 				continue
 			}
 			p.dirty = false

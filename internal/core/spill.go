@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sync"
+
+	"pangea/internal/disk"
+	"pangea/internal/pfs"
+)
+
+// spillQueueDepth bounds how many page write-backs may be pending on one
+// drive. A full queue blocks the daemon's submission loop, so eviction can
+// never buffer unbounded page references ahead of what the drives drain.
+const spillQueueDepth = 32
+
+// spillJob is one dirty victim's write-back: the owning set, the page (held
+// under an eviction claim, so its bytes cannot be touched mid-flight), the
+// pre-assigned on-disk location, and the write's outcome.
+type spillJob struct {
+	set  *LocalitySet
+	page *Page
+	loc  pfs.PageLoc
+	err  error
+}
+
+// spillPipeline fans victim write-back out across the disk array with one
+// bounded queue — and one lazy writer goroutine — per drive. The paged file
+// layer places pages round-robin across the array precisely so that N
+// drives deliver ~N× write bandwidth (paper §4); writing victims serially
+// from the daemon forfeited that, stalling every blocked allocator behind
+// single-drive spill I/O. Jobs on one drive still serialize (the drive's
+// time model does anyway); jobs on different drives land concurrently.
+type spillPipeline struct {
+	bp     *BufferPool
+	queues []*disk.Queue // one per drive, indexed like the Array
+}
+
+func newSpillPipeline(bp *BufferPool, arr *disk.Array) *spillPipeline {
+	sp := &spillPipeline{bp: bp, queues: make([]*disk.Queue, arr.Len())}
+	for i := range sp.queues {
+		sp.queues[i] = disk.NewQueue(spillQueueDepth)
+	}
+	return sp
+}
+
+// writeBatch writes every job's page image, routing each job to its
+// drive's writer, and waits for the whole batch to land before returning —
+// the daemon must not broadcast completion, release any page frame, or
+// start the next round while a writer still holds page references. On
+// failure it returns the first error in submission order (the error fan-in
+// that allocMem's errSince/timeoutErr paths surface to blocked allocators);
+// per-job outcomes stay recorded in the jobs for the caller's per-page
+// release decision.
+func (sp *spillPipeline) writeBatch(jobs []*spillJob) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sp.bp.stats.SpillsInFlight.Add(1)
+		sp.queues[j.loc.Drive].Submit(func() {
+			j.err = j.set.file.WritePageAt(j.loc, j.page.num, j.page.Bytes())
+			if j.err == nil {
+				sp.bp.stats.Spills.Add(1)
+			}
+			sp.bp.stats.SpillsInFlight.Add(-1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	for _, j := range jobs {
+		if j.err != nil {
+			return j.err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pangea/internal/disk"
+)
+
+// spillPool builds a pool over an n-drive array with the given per-drive
+// config, sized in pages.
+func spillPool(t *testing.T, drives int, cfg disk.Config, pages int64, pageSize int64) (*BufferPool, *disk.Array) {
+	t.Helper()
+	arr, err := disk.NewArray(t.TempDir(), drives, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	bp, err := NewPool(PoolConfig{Memory: pages * pageSize, Array: arr, AllocShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp, arr
+}
+
+// TestSpillDistributesAcrossDrives forces heavy write-back through the
+// per-drive pipeline and verifies every drive of the array absorbed spill
+// writes, the in-flight gauge returned to zero, and every spilled page
+// reads back intact.
+func TestSpillDistributesAcrossDrives(t *testing.T) {
+	const pageSize = 4 << 10
+	const drives = 4
+	bp, arr := spillPool(t, drives, disk.Unthrottled(), 8, pageSize)
+	s, err := bp.CreateSet(SetSpec{Name: "wb", PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 64
+	for i := 0; i < total; i++ {
+		p, err := s.NewPage()
+		if err != nil {
+			t.Fatalf("NewPage %d: %v", i, err)
+		}
+		stamp(p.Bytes(), 1, p.Num())
+		if err := s.Unpin(p, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bp.Stats().Spills.Load(); got == 0 {
+		t.Fatal("no spills despite 8x memory pressure")
+	}
+	for i, ds := range arr.PerDriveStats() {
+		if ds.Writes == 0 {
+			t.Errorf("drive %d absorbed no spill writes: pipeline not spread across the array", i)
+		}
+	}
+	if got := bp.Stats().SpillsInFlight.Load(); got != 0 {
+		t.Fatalf("SpillsInFlight = %d between batches, want 0", got)
+	}
+	for num := int64(0); num < total; num++ {
+		p, err := s.Pin(num)
+		if err != nil {
+			t.Fatalf("Pin(%d): %v", num, err)
+		}
+		if err := checkStamp(p.Bytes(), 1, num); err != nil {
+			t.Error(err)
+		}
+		if err := s.Unpin(p, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bp.DropSet(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillErrorReachesBlockedAllocators injects a write fault on one drive
+// of a two-drive array: once only that drive's pages remain evictable, the
+// failed round's error must surface to allocations blocked in allocMem via
+// the errSince/timeoutErr fan-in — not vanish into the daemon.
+func TestSpillErrorReachesBlockedAllocators(t *testing.T) {
+	const pageSize = 4 << 10
+	bp, arr := spillPool(t, 2, disk.Unthrottled(), 8, pageSize)
+	sentinel := errors.New("injected drive-1 failure")
+	arr.Disk(1).SetWriteFault(func() error { return sentinel })
+
+	s, err := bp.CreateSet(SetSpec{Name: "wb", PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for i := 0; i < 500 && sawErr == nil; i++ {
+		p, err := s.NewPage()
+		if err != nil {
+			sawErr = err
+			break
+		}
+		stamp(p.Bytes(), 2, p.Num())
+		if err := s.Unpin(p, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sawErr == nil {
+		t.Fatal("allocations kept succeeding although half the array cannot spill")
+	}
+	if !errors.Is(sawErr, sentinel) {
+		t.Fatalf("blocked allocator got %v, want the injected %v", sawErr, sentinel)
+	}
+
+	// Heal the drive, then verify no page was lost: victims whose
+	// write-back failed had to stay resident and dirty (never dropped), so
+	// every page must still read back with its stamp intact.
+	arr.Disk(1).SetWriteFault(nil)
+	for num := int64(0); num < s.NumPages(); num++ {
+		p, err := s.Pin(num)
+		if err != nil {
+			t.Fatalf("Pin(%d) after failed round: %v", num, err)
+		}
+		if err := checkStamp(p.Bytes(), 2, num); err != nil {
+			t.Error(err)
+		}
+		if err := s.Unpin(p, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The retried write-back must drain the backlog and let allocations
+	// proceed again.
+	for i := 0; i < 16; i++ {
+		p, err := s.NewPage()
+		if err != nil {
+			t.Fatalf("NewPage after healing the drive: %v", err)
+		}
+		stamp(p.Bytes(), 2, p.Num())
+		if err := s.Unpin(p, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bp.DropSet(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillAllDrivesFailing: with every drive faulted, each eviction round
+// fails, no dirty page may be dropped, and the error must keep surfacing
+// until the fault clears.
+func TestSpillAllDrivesFailing(t *testing.T) {
+	const pageSize = 4 << 10
+	bp, arr := spillPool(t, 1, disk.Unthrottled(), 6, pageSize)
+	sentinel := errors.New("injected whole-array failure")
+	arr.Disk(0).SetWriteFault(func() error { return sentinel })
+	s, err := bp.CreateSet(SetSpec{Name: "wb", PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for i := 0; i < 64 && sawErr == nil; i++ {
+		p, err := s.NewPage()
+		if err != nil {
+			sawErr = err
+			break
+		}
+		stamp(p.Bytes(), 3, p.Num())
+		if err := s.Unpin(p, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !errors.Is(sawErr, sentinel) {
+		t.Fatalf("got %v, want the injected %v", sawErr, sentinel)
+	}
+	arr.Disk(0).SetWriteFault(nil)
+	for num := int64(0); num < s.NumPages(); num++ {
+		p, err := s.Pin(num)
+		if err != nil {
+			t.Fatalf("Pin(%d): %v", num, err)
+		}
+		if err := checkStamp(p.Bytes(), 3, num); err != nil {
+			t.Error(err)
+		}
+		if err := s.Unpin(p, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bp.DropSet(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillPinRaceStress pins victim pages from many goroutines while the
+// per-drive writers are genuinely in flight (throttled drives widen the
+// window), exercising the claim/re-validate protocol against asynchronous
+// completion. Run with -race; the stamps catch any frame released or
+// recycled while a writer or a pinner could still touch it.
+func TestSpillPinRaceStress(t *testing.T) {
+	const pageSize = 4 << 10
+	const hotPages = 4
+	cfg := disk.Config{ReadMBps: 400, WriteMBps: 200}
+	bp, _ := spillPool(t, 2, cfg, 8, pageSize)
+	hot, err := bp.CreateSet(SetSpec{Name: "hot", PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < hotPages; i++ {
+		p, err := hot.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamp(p.Bytes(), 7, p.Num())
+		if err := hot.Unpin(p, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold, err := bp.CreateSet(SetSpec{Name: "cold", PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	iters := 150
+	if testing.Short() {
+		iters = 60
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers+1)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				num := int64((w + i) % hotPages)
+				p, err := hot.Pin(num)
+				if err != nil {
+					fail(fmt.Errorf("worker %d: Pin(%d): %w", w, num, err))
+					return
+				}
+				if err := checkStamp(p.Bytes(), 7, num); err != nil {
+					fail(err)
+				}
+				if err := hot.Unpin(p, false); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Pressure: stream cold dirty pages so the daemon keeps claiming hot
+	// pages and handing them to the in-flight writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			p, err := cold.NewPage()
+			if err != nil {
+				fail(fmt.Errorf("cold NewPage: %w", err))
+				return
+			}
+			stamp(p.Bytes(), 8, p.Num())
+			if err := cold.Unpin(p, true); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := bp.Stats().SpillsInFlight.Load(); got != 0 {
+		t.Fatalf("SpillsInFlight = %d after the storm, want 0", got)
+	}
+	for _, s := range []*LocalitySet{hot, cold} {
+		if err := bp.DropSet(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bp.UsedBytes() != 0 {
+		t.Errorf("UsedBytes = %d after dropping every set, want 0", bp.UsedBytes())
+	}
+}

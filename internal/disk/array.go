@@ -43,17 +43,29 @@ func (a *Array) Pick(seq int64) *Disk { return a.disks[int(seq)%len(a.disks)] }
 // PickIndex returns the drive index for a page sequence number.
 func (a *Array) PickIndex(seq int64) int { return int(seq) % len(a.disks) }
 
-// Stats sums the traffic counters over all drives.
+// Stats sums every traffic counter — reads and writes, operations and
+// bytes — over all drives, so array-level accounting never under-reports a
+// direction.
 func (a *Array) Stats() Stats {
 	var s Stats
-	for _, d := range a.disks {
-		ds := d.Stats()
+	for _, ds := range a.PerDriveStats() {
 		s.Reads += ds.Reads
 		s.Writes += ds.Writes
 		s.BytesRead += ds.BytesRead
 		s.BytesWritten += ds.BytesWritten
 	}
 	return s
+}
+
+// PerDriveStats snapshots each drive's traffic counters individually, in
+// drive order. The s6 spill experiment uses it to report how evenly the
+// round-robin placement balances read/write traffic across the array.
+func (a *Array) PerDriveStats() []Stats {
+	out := make([]Stats, len(a.disks))
+	for i, d := range a.disks {
+		out[i] = d.Stats()
+	}
+	return out
 }
 
 // RemoveAll deletes all drives' directory trees.

@@ -56,6 +56,11 @@ type Disk struct {
 	busyUntil time.Time
 
 	reads, writes, bytesRead, bytesWritten atomic.Int64
+
+	// writeFault, when set, is consulted before every write on the drive;
+	// a non-nil return fails the write without touching the file. Tests use
+	// it to inject per-drive spill failures.
+	writeFault atomic.Pointer[func() error]
 }
 
 // Open mounts a drive rooted at dir, creating the directory if needed.
@@ -120,6 +125,17 @@ func (d *Disk) throttle(n int, mbps float64) {
 	}
 }
 
+// SetWriteFault installs f as the drive's write-fault hook; every write on
+// the drive first calls f and fails with its error when non-nil. Passing
+// nil clears the hook. Intended for tests that simulate a failing drive.
+func (d *Disk) SetWriteFault(f func() error) {
+	if f == nil {
+		d.writeFault.Store(nil)
+		return
+	}
+	d.writeFault.Store(&f)
+}
+
 // Stats returns a snapshot of traffic counters.
 func (d *Disk) Stats() Stats {
 	return Stats{
@@ -154,6 +170,11 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt writes p at offset off.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if hook := f.d.writeFault.Load(); hook != nil {
+		if err := (*hook)(); err != nil {
+			return 0, err
+		}
+	}
 	f.d.throttle(len(p), f.d.cfg.WriteMBps)
 	n, err := f.f.WriteAt(p, off)
 	f.d.writes.Add(1)

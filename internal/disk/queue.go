@@ -1,0 +1,74 @@
+package disk
+
+import "sync"
+
+// Queue is a bounded FIFO of I/O jobs bound to one drive. The eviction
+// daemon's spill pipeline attaches one Queue per Disk of an Array: jobs on
+// the same queue run strictly in submission order on a single worker
+// goroutine (matching the drive's serial time model), while jobs on
+// different drives' queues proceed in parallel — an N-drive array absorbs
+// ~N concurrent page write-backs.
+//
+// The worker is lazy, like the eviction daemon itself: it starts on the
+// first Submit and exits once the queue drains, so an idle pipeline holds
+// no goroutines and a Queue never needs explicit shutdown.
+type Queue struct {
+	mu      sync.Mutex
+	notFull *sync.Cond
+	jobs    []func()
+	limit   int
+	running bool
+}
+
+// NewQueue builds a queue that admits at most limit pending jobs; Submit
+// blocks while the queue is full, which backpressures the producer to the
+// drive's real drain rate. limit must be positive.
+func NewQueue(limit int) *Queue {
+	if limit <= 0 {
+		limit = 1
+	}
+	q := &Queue{limit: limit}
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// Submit enqueues job, starting the worker goroutine if none is live.
+// It blocks while the queue holds limit pending jobs.
+func (q *Queue) Submit(job func()) {
+	q.mu.Lock()
+	for len(q.jobs) >= q.limit {
+		q.notFull.Wait()
+	}
+	q.jobs = append(q.jobs, job)
+	if !q.running {
+		q.running = true
+		go q.drain()
+	}
+	q.mu.Unlock()
+}
+
+// Len reports the number of pending jobs (not counting one mid-execution).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// drain runs queued jobs in FIFO order until the queue is empty, then
+// exits. No lock is held while a job runs.
+func (q *Queue) drain() {
+	for {
+		q.mu.Lock()
+		if len(q.jobs) == 0 {
+			q.running = false
+			q.mu.Unlock()
+			return
+		}
+		job := q.jobs[0]
+		q.jobs[0] = nil
+		q.jobs = q.jobs[1:]
+		q.notFull.Signal()
+		q.mu.Unlock()
+		job()
+	}
+}

@@ -1,0 +1,156 @@
+package disk
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsJobsInOrder(t *testing.T) {
+	q := NewQueue(4)
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		q.Submit(func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("job %d ran at position %d: queue not FIFO", v, i)
+		}
+	}
+}
+
+func TestQueueNeverRunsJobsConcurrently(t *testing.T) {
+	q := NewQueue(8)
+	var inFlight, maxSeen atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		q.Submit(func() {
+			if n := inFlight.Add(1); n > maxSeen.Load() {
+				maxSeen.Store(n)
+			}
+			time.Sleep(50 * time.Microsecond)
+			inFlight.Add(-1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if maxSeen.Load() != 1 {
+		t.Fatalf("queue ran %d jobs concurrently, want 1", maxSeen.Load())
+	}
+}
+
+func TestQueueSubmitBlocksWhenFull(t *testing.T) {
+	q := NewQueue(1)
+	gate := make(chan struct{})
+	var done sync.WaitGroup
+	done.Add(3)
+	q.Submit(func() { <-gate; done.Done() }) // occupies the worker
+	q.Submit(func() { done.Done() })         // fills the single slot
+
+	submitted := make(chan struct{})
+	go func() {
+		q.Submit(func() { done.Done() })
+		close(submitted)
+	}()
+	select {
+	case <-submitted:
+		t.Fatal("Submit returned while the queue was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	select {
+	case <-submitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit never unblocked after the queue drained")
+	}
+	done.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", q.Len())
+	}
+}
+
+func TestQueueWorkerExitsAndRestarts(t *testing.T) {
+	q := NewQueue(4)
+	for round := 0; round < 3; round++ {
+		ran := make(chan struct{})
+		q.Submit(func() { close(ran) })
+		select {
+		case <-ran:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("round %d: job never ran", round)
+		}
+		// Let the lazy worker drain and exit before the next round.
+		deadline := time.Now().Add(time.Second)
+		for q.Len() != 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestWriteFaultInjection(t *testing.T) {
+	d := mustDisk(t, Unthrottled())
+	f, err := d.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sentinel := errors.New("drive on fire")
+	d.SetWriteFault(func() error { return sentinel })
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, sentinel) {
+		t.Fatalf("WriteAt error = %v, want injected %v", err, sentinel)
+	}
+	if s := d.Stats(); s.Writes != 0 {
+		t.Fatalf("failed write counted: Writes = %d, want 0", s.Writes)
+	}
+	d.SetWriteFault(nil)
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("WriteAt after clearing fault: %v", err)
+	}
+}
+
+func TestArrayStatsSumsAllCounters(t *testing.T) {
+	a, err := NewArray(t.TempDir(), 2, Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.RemoveAll()
+	buf := make([]byte, 100)
+	for i := 0; i < 2; i++ {
+		f, err := a.Disk(i).Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(buf, 0)
+		f.ReadAt(buf, 0)
+		f.Close()
+	}
+	s := a.Stats()
+	if s.Writes != 2 || s.BytesWritten != 200 {
+		t.Fatalf("writes=%d bytes=%d, want 2/200", s.Writes, s.BytesWritten)
+	}
+	if s.Reads != 2 || s.BytesRead != 200 {
+		t.Fatalf("reads=%d bytes=%d, want 2/200", s.Reads, s.BytesRead)
+	}
+	per := a.PerDriveStats()
+	if len(per) != 2 {
+		t.Fatalf("PerDriveStats len = %d, want 2", len(per))
+	}
+	for i, ds := range per {
+		if ds.Reads != 1 || ds.Writes != 1 {
+			t.Fatalf("drive %d: reads=%d writes=%d, want 1/1", i, ds.Reads, ds.Writes)
+		}
+	}
+}

@@ -123,6 +123,7 @@ var Registry = []struct {
 	{"s7", S7, "colliding objects vs node count and the n/k estimate"},
 	{"s5", S5Concurrency, "parallel Pin/Unpin throughput: shared set vs per-goroutine sets"},
 	{"s5b", S5AllocShards, "parallel page alloc/free throughput: 1 TLSF shard vs one per core"},
+	{"s6", S6SpillThroughput, "spill throughput vs drive count: per-drive write-back pipeline"},
 }
 
 // Run executes one experiment by id.

@@ -112,14 +112,16 @@ func (pf *PagedFile) Name() string { return pf.name }
 // PageSize returns the fixed page size of the associated locality set.
 func (pf *PagedFile) PageSize() int64 { return pf.pageSize }
 
-// WritePage persists the image of page pageNum. len(data) must not exceed
-// the page size. Re-writing an existing page overwrites it in place; a new
-// page is appended to the next drive in round-robin order.
-func (pf *PagedFile) WritePage(pageNum int64, data []byte) error {
-	if int64(len(data)) > pf.pageSize {
-		return fmt.Errorf("pfs: page %d data %d bytes exceeds page size %d", pageNum, len(data), pf.pageSize)
-	}
+// PlacePage returns the on-disk location of page pageNum, assigning one if
+// the page has no image yet: new pages are appended to the next drive in
+// round-robin order. The assignment is stable — a later failed write keeps
+// the location, and a retry writes to the same extent. Placement is the
+// only part of a page write that needs the index lock; the eviction
+// daemon's spill pipeline places every victim first, groups them by
+// PageLoc.Drive, and lets per-drive writers call WritePageAt concurrently.
+func (pf *PagedFile) PlacePage(pageNum int64) PageLoc {
 	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	loc, ok := pf.pages[pageNum]
 	if !ok {
 		drive := int32(pf.seq % int64(len(pf.data)))
@@ -128,16 +130,41 @@ func (pf *PagedFile) WritePage(pageNum int64, data []byte) error {
 		pf.next[drive] += pf.pageSize
 		pf.pages[pageNum] = loc
 	}
-	f := pf.data[loc.Drive]
-	pf.mu.Unlock()
+	return loc
+}
+
+// WritePageAt persists data as the image of page pageNum at loc, which must
+// come from PlacePage (or a prior read of the index). It takes no lock: the
+// per-drive data files are immutable after Create/Open and the location is
+// already assigned, so concurrent writers targeting different drives never
+// serialize on the file — only on their own drive's time model.
+func (pf *PagedFile) WritePageAt(loc PageLoc, pageNum int64, data []byte) error {
+	if int64(len(data)) > pf.pageSize {
+		return fmt.Errorf("pfs: page %d data %d bytes exceeds page size %d", pageNum, len(data), pf.pageSize)
+	}
+	if loc.Drive < 0 || int(loc.Drive) >= len(pf.data) {
+		return fmt.Errorf("pfs: page %d location names drive %d of %d", pageNum, loc.Drive, len(pf.data))
+	}
 	// Pad to full page so every on-disk image has fixed extent.
 	if int64(len(data)) < pf.pageSize {
 		padded := make([]byte, pf.pageSize)
 		copy(padded, data)
 		data = padded
 	}
-	_, err := f.WriteAt(data, loc.Offset)
+	_, err := pf.data[loc.Drive].WriteAt(data, loc.Offset)
 	return err
+}
+
+// WritePage persists the image of page pageNum. len(data) must not exceed
+// the page size. Re-writing an existing page overwrites it in place; a new
+// page is appended to the next drive in round-robin order.
+func (pf *PagedFile) WritePage(pageNum int64, data []byte) error {
+	if int64(len(data)) > pf.pageSize {
+		// Reject before placement so an invalid write never claims an
+		// index entry and a disk extent.
+		return fmt.Errorf("pfs: page %d data %d bytes exceeds page size %d", pageNum, len(data), pf.pageSize)
+	}
+	return pf.WritePageAt(pf.PlacePage(pageNum), pageNum, data)
 }
 
 // ReadPage reads the image of page pageNum into buf, which must be at least

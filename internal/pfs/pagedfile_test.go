@@ -3,6 +3,7 @@ package pfs
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -240,5 +241,80 @@ func TestManyFilesShareArray(t *testing.T) {
 			t.Fatalf("file %d corrupted by sibling files", i)
 		}
 		pf.Remove()
+	}
+}
+
+func TestPlacePageStableRoundRobin(t *testing.T) {
+	a := newArray(t, 3)
+	pf, _ := Create(a, "s", 256)
+	defer pf.Remove()
+	perDrive := map[int32]int{}
+	for i := int64(0); i < 9; i++ {
+		loc := pf.PlacePage(i)
+		perDrive[loc.Drive]++
+		if again := pf.PlacePage(i); again != loc {
+			t.Fatalf("page %d placement moved: %+v then %+v", i, loc, again)
+		}
+	}
+	for d := int32(0); d < 3; d++ {
+		if perDrive[d] != 3 {
+			t.Fatalf("drive %d got %d of 9 pages, want 3 (round-robin)", d, perDrive[d])
+		}
+	}
+}
+
+// TestWritePageAtConcurrentAcrossDrives drives the spill pipeline's usage:
+// place every page first, then write the images from one goroutine per
+// drive concurrently, and verify all of them read back.
+func TestWritePageAtConcurrentAcrossDrives(t *testing.T) {
+	const pages, pageSize = 12, 256
+	a := newArray(t, 3)
+	pf, _ := Create(a, "s", pageSize)
+	defer pf.Remove()
+	byDrive := map[int32][]int64{}
+	locs := make([]PageLoc, pages)
+	for i := int64(0); i < pages; i++ {
+		locs[i] = pf.PlacePage(i)
+		byDrive[locs[i].Drive] = append(byDrive[locs[i].Drive], i)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(byDrive))
+	for _, nums := range byDrive {
+		wg.Add(1)
+		go func(nums []int64) {
+			defer wg.Done()
+			for _, n := range nums {
+				if err := pf.WritePageAt(locs[n], n, bytes.Repeat([]byte{byte(n + 1)}, pageSize)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(nums)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	buf := make([]byte, pageSize)
+	for i := int64(0); i < pages; i++ {
+		if err := pf.ReadPage(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("page %d = %d after concurrent write-back, want %d", i, buf[0], i+1)
+		}
+	}
+}
+
+func TestWritePageAtRejectsBadDrive(t *testing.T) {
+	a := newArray(t, 1)
+	pf, _ := Create(a, "s", 64)
+	defer pf.Remove()
+	if err := pf.WritePageAt(PageLoc{Drive: 5}, 0, []byte{1}); err == nil {
+		t.Fatal("expected error for out-of-range drive")
+	}
+	if err := pf.WritePageAt(PageLoc{Drive: 0}, 0, make([]byte, 65)); err == nil {
+		t.Fatal("expected error for oversized data")
 	}
 }
