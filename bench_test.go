@@ -82,7 +82,12 @@ func BenchmarkTab3Shuffle(b *testing.B) { runExperiment(b, "tab3") }
 func BenchmarkTab4KVAggregation(b *testing.B) { runExperiment(b, "tab4") }
 
 // BenchmarkS7Colliding regenerates the §7 colliding-object study.
-func BenchmarkS7Colliding(b *testing.B) { runExperiment(b, "s7") }
+func BenchmarkS7Colliding(b *testing.B) { runExperiment(b, "s7c") }
+
+// BenchmarkS7Fairness regenerates the multi-tenant fairness experiment:
+// an aggressive hot set vs a well-behaved tenant, with and without
+// per-set admission control.
+func BenchmarkS7Fairness(b *testing.B) { runExperiment(b, "s7") }
 
 // BenchmarkS5Concurrency regenerates the §5 parallel Pin/Unpin ablation.
 func BenchmarkS5Concurrency(b *testing.B) { runExperiment(b, "s5") }

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment id (fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 tab4 s7 s5 s5b s6) or 'all'")
+		which = flag.String("exp", "all", "experiment id (fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 tab4 s7c s5 s5b s6 s7) or 'all'")
 		quick = flag.Bool("quick", false, "run the CI-sized workloads")
 		dir   = flag.String("dir", "", "scratch directory for simulated drives (default: a temp dir)")
 

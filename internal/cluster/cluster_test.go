@@ -271,6 +271,47 @@ func TestSetStats(t *testing.T) {
 	}
 }
 
+// TestCreateSetSpecPlumbsAdmissionFields: quota and weight travel the wire
+// to the worker's buffer pool, and the stats reply reports the resulting
+// entitlement and residency gauges.
+func TestCreateSetSpecPlumbsAdmissionFields(t *testing.T) {
+	_, workers, cl := startCluster(t, 2, 1<<20)
+	if err := cl.CreateSetSpec(core.SetSpec{Name: "capped", PageSize: 4096, MemoryQuota: 64 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateSetSpec(core.SetSpec{Name: "weighted", PageSize: 4096, Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workers {
+		capped, ok := w.Pool().GetSet("capped")
+		if !ok {
+			t.Fatalf("worker %s has no set \"capped\"", w.Addr())
+		}
+		if got := capped.MemoryQuota(); got != 64<<10 {
+			t.Errorf("worker %s: quota = %d, want %d", w.Addr(), got, 64<<10)
+		}
+		weighted, ok := w.Pool().GetSet("weighted")
+		if !ok {
+			t.Fatalf("worker %s has no set \"weighted\"", w.Addr())
+		}
+		// The only weighted set takes the whole arena as its share.
+		if got := weighted.Entitlement(); got != 1<<20 {
+			t.Errorf("worker %s: entitlement = %d, want %d", w.Addr(), got, 1<<20)
+		}
+	}
+	st, err := cl.SetStats(workers[0].Addr(), "capped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entitlement != 64<<10 {
+		t.Errorf("SetStats entitlement = %d, want the %d-byte quota", st.Entitlement, 64<<10)
+	}
+	// An invalid quota must fail set creation through the proxy too.
+	if err := cl.CreateSetSpec(core.SetSpec{Name: "bad", PageSize: 4096, MemoryQuota: 100}); err == nil {
+		t.Error("sub-page quota accepted over the wire")
+	}
+}
+
 func TestCircularBufferOrderAndClose(t *testing.T) {
 	cb := NewCircularBuffer(4)
 	go func() {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"pangea/internal/core"
 )
 
 // Manager is Pangea's light-weight manager node (§3.3): it accepts user
@@ -204,14 +206,23 @@ func (cl *Client) Workers() ([]string, error) {
 
 // CreateSet creates a locality set with the same name on every worker.
 func (cl *Client) CreateSet(name string, pageSize int64, durability uint8) error {
+	return cl.CreateSetSpec(core.SetSpec{Name: name, PageSize: pageSize,
+		Durability: core.DurabilityType(durability)})
+}
+
+// CreateSetSpec creates a locality set on every worker from a full spec,
+// carrying the admission-control fields (memory quota / fair-share weight)
+// to each node's buffer pool; CreateSet is the unconstrained shorthand.
+func (cl *Client) CreateSetSpec(spec core.SetSpec) error {
 	addrs, err := cl.Workers()
 	if err != nil {
 		return err
 	}
 	for _, a := range addrs {
-		msg, err := call(a, CreateSetReq{Auth: cl.auth, Name: name, PageSize: pageSize, Durability: durability})
+		msg, err := call(a, CreateSetReq{Auth: cl.auth, Name: spec.Name, PageSize: spec.PageSize,
+			Durability: uint8(spec.Durability), MemoryQuota: spec.MemoryQuota, Weight: spec.Weight})
 		if err := respErr(msg, err); err != nil {
-			return fmt.Errorf("create %q on %s: %w", name, a, err)
+			return fmt.Errorf("create %q on %s: %w", spec.Name, a, err)
 		}
 	}
 	return nil

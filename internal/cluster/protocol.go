@@ -56,6 +56,12 @@ type CreateSetReq struct {
 	Name       string
 	PageSize   int64
 	Durability uint8 // core.DurabilityType
+	// MemoryQuota and Weight are the set's admission-control fields: a
+	// hard resident-byte cap and a fair-share weight (see core.SetSpec).
+	// Zero values leave the set unconstrained, so old clients keep the
+	// pre-admission behaviour.
+	MemoryQuota int64
+	Weight      float64
 }
 
 // OKResp is the generic acknowledgement.
@@ -143,12 +149,15 @@ type SetStatsReq struct {
 	Set  string
 }
 
-// SetStatsResp reports one worker's view of a set.
+// SetStatsResp reports one worker's view of a set, including the
+// admission-control gauges (resident footprint vs entitlement).
 type SetStatsResp struct {
-	NumPages  int64
-	Resident  int
-	DiskBytes int64
-	Err       string
+	NumPages      int64
+	Resident      int
+	ResidentBytes int64
+	Entitlement   int64
+	DiskBytes     int64
+	Err           string
 }
 
 // RegisterReplicaReq records replica metadata in the manager's statistics

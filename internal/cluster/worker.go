@@ -189,9 +189,11 @@ func (w *Worker) handleCreateSet(req CreateSetReq) OKResp {
 		return OKResp{Err: err.Error()}
 	}
 	_, err := w.pool.CreateSet(core.SetSpec{
-		Name:       req.Name,
-		PageSize:   req.PageSize,
-		Durability: durabilityFromWire(req.Durability),
+		Name:        req.Name,
+		PageSize:    req.PageSize,
+		Durability:  durabilityFromWire(req.Durability),
+		MemoryQuota: req.MemoryQuota,
+		Weight:      req.Weight,
 	})
 	if err != nil {
 		return OKResp{Err: err.Error()}
@@ -463,8 +465,10 @@ func (w *Worker) handleSetStats(req SetStatsReq) SetStatsResp {
 		return SetStatsResp{Err: fmt.Sprintf("cluster: no set %q", req.Set)}
 	}
 	return SetStatsResp{
-		NumPages:  set.NumPages(),
-		Resident:  set.ResidentPages(),
-		DiskBytes: set.DiskBytes(),
+		NumPages:      set.NumPages(),
+		Resident:      set.ResidentPages(),
+		ResidentBytes: set.ResidentBytes(),
+		Entitlement:   set.Entitlement(),
+		DiskBytes:     set.DiskBytes(),
 	}
 }

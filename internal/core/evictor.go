@@ -91,26 +91,28 @@ func (e *evictor) timeoutErr(seq uint64) error {
 }
 
 // run is the daemon loop: drain eviction passes until a pass completes with
-// no pending kick, then exit. Each kick guarantees at least one eviction
-// round (a blocked allocation may need memory even when free bytes look
-// healthy, e.g. under fragmentation); beyond that the pass continues only
-// while free memory is below the high watermark, so the daemon can never
-// outrace a woken waiter and drain the pool. If a round reclaims too little,
-// the waiter's failed retry kicks the next round — the same
-// evict-retry-evict convergence as a synchronous loop, minus the spilling
-// on the allocation path.
+// no pending kick, then exit. If a round reclaims too little, the waiter's
+// failed retry kicks the next round — the same evict-retry-evict
+// convergence as a synchronous loop, minus the spilling on the allocation
+// path.
 func (e *evictor) run() {
 	for {
 		e.mu.Lock()
 		e.kicked = false
 		e.mu.Unlock()
 
+		progressed := false
 		for round := 0; ; round++ {
-			if round > 0 && e.bp.alloc.FreeBytes() >= e.bp.cfg.HighWater {
+			if !e.shouldEvict(round) {
 				break
 			}
 			evicted, err := e.bp.evictOnce()
 			if err != nil {
+				// Wake the waiters with the error, but don't end the
+				// daemon outright: a fresh kick that arrived while the
+				// failing round was in flight (its victims may live on a
+				// healthy drive) gets a fresh pass from the outer loop's
+				// kicked re-check below instead of riding out its timeout.
 				e.broadcast(err)
 				break
 			}
@@ -119,15 +121,46 @@ func (e *evictor) run() {
 				// will wake the waiters, and their retry re-kicks us.
 				break
 			}
+			progressed = true
 			e.broadcast(nil)
 		}
 
 		e.mu.Lock()
 		if !e.kicked {
+			// A pass that made progress may have stopped at the waiter
+			// gate (free back above HighWater) with hard-quota overage
+			// still outstanding, and the waiters' successful retries never
+			// re-kick; give the overage another pass rather than stranding
+			// it until the set's next growth. A pass that evicted nothing
+			// must exit even if overage remains (the victims are pinned) —
+			// the next kick retries.
+			if progressed && e.bp.anyOverQuota() {
+				e.mu.Unlock()
+				continue
+			}
 			e.running = false
 			e.mu.Unlock()
 			return
 		}
 		e.mu.Unlock()
 	}
+}
+
+// shouldEvict gates every round of a pass. A round may spill dirty pages,
+// so it must be justified by somebody who needs the memory: while
+// allocations are blocked, their kick guarantees one round (a waiter may
+// need memory even when free bytes look healthy, e.g. under fragmentation)
+// and further rounds run up to the high watermark; with no waiter left,
+// only genuine watermark pressure (free below the background low-water
+// mark) or a set over its hard quota (admission control's self-eviction)
+// keeps the pass alive. The seed ran the first round unconditionally and
+// kept evicting until free reached HighWater even at waiters == 0, so a
+// stale kick could spill a batch — and then drain the pool to the high
+// watermark — with nobody waiting for a byte of it.
+func (e *evictor) shouldEvict(round int) bool {
+	bp := e.bp
+	if e.waiters.Load() > 0 {
+		return round == 0 || bp.alloc.FreeBytes() < bp.cfg.HighWater
+	}
+	return bp.alloc.FreeBytes() < bp.cfg.LowWater || bp.anyOverQuota()
 }

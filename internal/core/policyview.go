@@ -39,6 +39,20 @@ type SetSnapshot struct {
 	LastAccess int64
 	// Resident is the number of pages cached at snapshot time.
 	Resident int
+	// ResidentBytes is the set's resident-page footprint in bytes at
+	// snapshot time.
+	ResidentBytes int64
+	// PendingBytes is allocation demand blocked on this set's behalf at
+	// snapshot time; it counts toward the set's footprint in Overage, so a
+	// tenant at its entitlement asking for one more page self-evicts for it
+	// instead of stealing from an under-quota set.
+	PendingBytes int64
+	// Entitlement is the set's fair share of the arena in bytes: its
+	// memory quota, or its weight-proportional share, or Capacity when the
+	// set is unconstrained. The daemon reclaims from sets above their
+	// entitlement before any set below it; policies may also use the ratio
+	// to rank victims.
+	Entitlement int64
 	// TotalPages is the total logical page count (resident or spilled),
 	// which DBMIN's looping/random size estimates use.
 	TotalPages int64
@@ -47,8 +61,14 @@ type SetSnapshot struct {
 	// whose Location attribute pins them in memory.
 	Evictable []PageRef
 
-	set *LocalitySet // live handle for victim resolution
+	set   *LocalitySet // live handle for victim resolution
+	quota int64        // explicit resident-byte cap, 0 = none
 }
+
+// Overage reports how many bytes the set's footprint — resident pages
+// plus blocked allocation demand — exceeds its entitlement by; zero or
+// negative means the set is within its fair share.
+func (s *SetSnapshot) Overage() int64 { return s.ResidentBytes + s.PendingBytes - s.Entitlement }
 
 // PageRef identifies one evictable page within a PolicyView.
 type PageRef struct {
@@ -159,6 +179,13 @@ func (bp *BufferPool) snapshot() *PolicyView {
 		horizon:  bp.cfg.Horizon,
 		profile:  bp.cfg.Profile,
 	}
+	// Entitlements: one weight sum over the listed sets (weights are
+	// immutable, so a set dropped between here and its lock below only
+	// shrinks other sets' nominal shares by a stale epsilon).
+	var totalWeight float64
+	for _, s := range sets {
+		totalWeight += s.weight
+	}
 	for _, s := range sets {
 		s.mu.Lock()
 		if s.dropped {
@@ -166,13 +193,17 @@ func (bp *BufferPool) snapshot() *PolicyView {
 			continue
 		}
 		ss := &SetSnapshot{
-			Name:       s.name,
-			Attrs:      s.attrs,
-			PageSize:   s.pageSize,
-			LastAccess: s.lastAccess,
-			Resident:   len(s.resident),
-			TotalPages: s.nextNum,
-			set:        s,
+			Name:          s.name,
+			Attrs:         s.attrs,
+			PageSize:      s.pageSize,
+			LastAccess:    s.lastAccess,
+			Resident:      len(s.resident),
+			ResidentBytes: s.residentBytes.Load(),
+			PendingBytes:  s.pendingBytes.Load(),
+			Entitlement:   bp.entitlementWith(totalWeight, s),
+			TotalPages:    s.nextNum,
+			set:           s,
+			quota:         s.quota,
 		}
 		if !s.attrs.Pinned {
 			for _, p := range s.resident {
@@ -190,4 +221,30 @@ func (bp *BufferPool) snapshot() *PolicyView {
 		view.Sets = append(view.Sets, ss)
 	}
 	return view
+}
+
+// overEntitled returns a derived view restricted to the sets holding more
+// than their entitlement and having something evictable — the fairness
+// pre-pass input — or nil when every set is within its share. With
+// quotaOnly set (no allocation pressure), only sets over an explicit
+// MemoryQuota count: weight entitlements never trigger spilling on their
+// own. The filtered view shares the receiver's SetSnapshots, so the
+// PageRefs a policy returns from it resolve identically.
+func (v *PolicyView) overEntitled(quotaOnly bool) *PolicyView {
+	var over []*SetSnapshot
+	for _, s := range v.Sets {
+		if s.Overage() <= 0 || len(s.Evictable) == 0 {
+			continue
+		}
+		if quotaOnly && s.quota == 0 {
+			continue
+		}
+		over = append(over, s)
+	}
+	if over == nil {
+		return nil
+	}
+	w := *v
+	w.Sets = over
+	return &w
 }

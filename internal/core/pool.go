@@ -53,8 +53,11 @@ type PoolConfig struct {
 	// LowWater and HighWater are the eviction daemon's free-memory
 	// watermarks in bytes, compared against free memory aggregated across
 	// every allocator shard: when total free memory falls below LowWater
-	// the daemon starts evicting in the background, and it keeps going
-	// until it reaches HighWater. Defaults are Memory/16 and Memory/8.
+	// the daemon starts evicting in the background. While allocations are
+	// blocked it keeps going until free memory reaches HighWater; with no
+	// waiter left it stops as soon as free memory is back above LowWater,
+	// so it never spills dirty pages nobody is waiting for just to reach
+	// the higher mark. Defaults are Memory/16 and Memory/8.
 	LowWater  int64
 	HighWater int64
 	// AllocShards is the number of TLSF allocator shards (rounded to a
@@ -166,6 +169,20 @@ type SetSpec struct {
 	PageSize   int64
 	Durability DurabilityType // WriteBack unless specified
 	Pinned     bool           // Location attribute
+
+	// MemoryQuota caps the set's resident bytes (admission control): growth
+	// past the quota triggers self-eviction — the daemon reclaims the
+	// overage from this set, and under pool-wide pressure over-quota sets
+	// are reclaimed from before any under-quota tenant. 0 means no quota.
+	MemoryQuota int64
+	// Weight is the set's fair-share weight: under memory pressure the set
+	// is entitled to Weight/ΣWeights of the arena (summed over all weighted
+	// sets), and sets holding more than their entitlement are reclaimed
+	// from first. Unlike MemoryQuota, a weight entitlement is enforced only
+	// under pressure — a weighted set may use idle memory freely. 0 leaves
+	// the set unweighted (entitled to the whole arena, the pre-admission
+	// behaviour).
+	Weight float64
 }
 
 // CreateSet registers a new locality set and its file instance. The name
@@ -184,6 +201,15 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 	if max := bp.alloc.MaxAlloc(); spec.PageSize > max {
 		return nil, fmt.Errorf("core: page size %d exceeds the %d-byte shard maximum (pool %d bytes in %d allocator shards)",
 			spec.PageSize, max, bp.cfg.Memory, bp.alloc.NumShards())
+	}
+	if spec.MemoryQuota < 0 || spec.Weight < 0 {
+		return nil, fmt.Errorf("core: set %q: negative quota/weight (%d, %g)", spec.Name, spec.MemoryQuota, spec.Weight)
+	}
+	if spec.MemoryQuota > 0 && spec.MemoryQuota < spec.PageSize {
+		return nil, fmt.Errorf("core: set %q: quota %d below one %d-byte page", spec.Name, spec.MemoryQuota, spec.PageSize)
+	}
+	if spec.MemoryQuota > bp.cfg.Memory {
+		return nil, fmt.Errorf("core: set %q: quota %d exceeds the %d-byte pool", spec.Name, spec.MemoryQuota, bp.cfg.Memory)
 	}
 	bp.regMu.Lock()
 	if _, dup := bp.byName[spec.Name]; dup || bp.reserved[spec.Name] {
@@ -215,6 +241,8 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 		name:     spec.Name,
 		pageSize: spec.PageSize,
 		home:     bp.alloc.HomeShard(int(id)),
+		quota:    spec.MemoryQuota,
+		weight:   spec.Weight,
 		attrs:    Attributes{Durability: spec.Durability, Pinned: spec.Pinned},
 		file:     file,
 		resident: make(map[int64]*Page),
@@ -270,6 +298,11 @@ func (bp *BufferPool) DropSet(s *LocalitySet) error {
 		offs = append(offs, p.off)
 		delete(s.resident, num)
 	}
+	// Unwind the residency gauge exactly once per page released here; any
+	// in-flight eviction was waited out above, so no page can be released
+	// twice. Add (not Store) keeps a double-release visible to the counter
+	// invariant the stress tests check.
+	s.residentBytes.Add(-int64(len(offs)) * s.pageSize)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -322,6 +355,55 @@ func (bp *BufferPool) Array() *disk.Array { return bp.array }
 // storage process's shared memory region (§5, Fig 2).
 func (bp *BufferPool) SharedMemory() *memory.Arena { return bp.arena }
 
+// entitlement computes a set's fair share of the arena: its explicit
+// quota if one is set, else a weight-proportional share of the arena among
+// all weighted sets, else the whole arena. Only quota reads hit the alloc
+// hot path (via LocalitySet.noteResident); the weight sum is computed here
+// on demand for the daemon's snapshots and the per-set gauges.
+func (bp *BufferPool) entitlement(s *LocalitySet) int64 {
+	if s.quota > 0 || s.weight <= 0 {
+		return bp.entitlementWith(0, s)
+	}
+	bp.regMu.RLock()
+	var total float64
+	for _, o := range bp.sets {
+		total += o.weight
+	}
+	bp.regMu.RUnlock()
+	return bp.entitlementWith(total, s)
+}
+
+// entitlementWith is the single home of the entitlement rules — quota
+// overrides weight, weight share = Weight/totalWeight of the arena,
+// unconstrained sets get the whole arena — shared by the on-demand gauge
+// above and the daemon's snapshot (which precomputes totalWeight once per
+// round).
+func (bp *BufferPool) entitlementWith(totalWeight float64, s *LocalitySet) int64 {
+	if s.quota > 0 {
+		return s.quota
+	}
+	if s.weight <= 0 || totalWeight <= 0 {
+		return bp.cfg.Memory
+	}
+	return int64(float64(bp.cfg.Memory) * s.weight / totalWeight)
+}
+
+// anyOverQuota reports whether some set holds more resident bytes than its
+// hard quota. The eviction daemon uses it to justify self-eviction rounds
+// when no allocation is blocked and free memory looks healthy; weight
+// entitlements deliberately don't count here — they matter only under
+// pressure, when the fairness pass in evictOnce orders the victims.
+func (bp *BufferPool) anyOverQuota() bool {
+	bp.regMu.RLock()
+	defer bp.regMu.RUnlock()
+	for _, s := range bp.sets {
+		if s.quota > 0 && s.residentBytes.Load() > s.quota {
+			return true
+		}
+	}
+	return false
+}
+
 // TickNow returns the current logical tick.
 func (bp *BufferPool) TickNow() int64 { return bp.tick.Load() }
 
@@ -339,23 +421,38 @@ func (bp *BufferPool) notePeak() {
 	}
 }
 
-// allocMem carves size bytes out of the arena, preferring the caller's
-// home shard (work-stealing into the other shards happens inside the
+// allocMem carves size bytes out of the arena for set s, preferring the
+// set's home shard (work-stealing into the other shards happens inside the
 // allocator). On pressure it kicks the eviction daemon and blocks on its
 // broadcast channel until memory is reclaimed, the policy reports an
 // error, or the deadline passes — no spill I/O ever runs on this path.
-func (bp *BufferPool) allocMem(size int64, home int) (int64, error) {
+func (bp *BufferPool) allocMem(s *LocalitySet, size int64) (int64, error) {
 	e := bp.evictor
-	if off, err := bp.alloc.AllocAffinity(size, home); err == nil {
+	home := s.home
+	// charge books the carved frame against the set's admission gauge the
+	// instant the allocation lands — before the page is inserted — so the
+	// daemon can never snapshot a set mid-growth as innocently under quota;
+	// quota overshoot kicks the self-eviction round right here.
+	charge := func(off int64) (int64, error) {
 		bp.notePeak()
-		if bp.alloc.FreeBytes() < bp.cfg.LowWater {
+		if res := s.residentBytes.Add(size); s.quota > 0 && res > s.quota {
 			e.kick()
 		}
 		return off, nil
 	}
+	if off, err := bp.alloc.AllocAffinity(size, home); err == nil {
+		if bp.alloc.FreeBytes() < bp.cfg.LowWater {
+			e.kick()
+		}
+		return charge(off)
+	}
 
 	e.waiters.Add(1)
 	defer e.waiters.Add(-1)
+	// Count the blocked demand toward the set's fairness footprint (see
+	// LocalitySet.pendingBytes).
+	s.pendingBytes.Add(size)
+	defer s.pendingBytes.Add(-size)
 	timer := time.NewTimer(bp.cfg.AllocTimeout)
 	defer timer.Stop()
 	for {
@@ -364,8 +461,7 @@ func (bp *BufferPool) allocMem(size int64, home int) (int64, error) {
 		ch, seq := e.observe()
 		off, err := bp.alloc.AllocAffinity(size, home)
 		if err == nil {
-			bp.notePeak()
-			return off, nil
+			return charge(off)
 		}
 		e.kick()
 		select {
@@ -378,8 +474,7 @@ func (bp *BufferPool) allocMem(size int64, home int) (int64, error) {
 			// failed retry re-kicks the daemon, whose next failing round
 			// re-records it.
 			if off, aerr := bp.alloc.AllocAffinity(size, home); aerr == nil {
-				bp.notePeak()
-				return off, nil
+				return charge(off)
 			}
 			if err := e.errSince(seq); err != nil {
 				return 0, err
@@ -395,8 +490,7 @@ func (bp *BufferPool) allocMem(size int64, home int) (int64, error) {
 			timer.Reset(bp.cfg.AllocTimeout)
 		case <-timer.C:
 			if off, err := bp.alloc.AllocAffinity(size, home); err == nil {
-				bp.notePeak()
-				return off, nil
+				return charge(off)
 			}
 			// The daemon may have recorded a policy/spill failure in the
 			// same instant the deadline fired (both select cases ready);
@@ -407,11 +501,36 @@ func (bp *BufferPool) allocMem(size int64, home int) (int64, error) {
 }
 
 // evictOnce runs one round of the paging system (§6) on behalf of the
-// eviction daemon: snapshot the pool, let the policy select a victim batch,
-// claim the victims against live state, spill dirty alive pages with no
-// locks held, then recycle the memory.
+// eviction daemon. Admission control shapes the round: if any set holds
+// more than its entitlement, the policy first sees a view restricted to
+// those sets — an over-quota tenant's growth reclaims its own overage
+// before it may steal a byte from an under-quota one — with the round's
+// take from each set capped at its overage. Only when every set is within
+// its share (or the over-entitled ones have nothing evictable) does the
+// policy rank the full pool. Without allocation pressure, only hard
+// quotas justify spilling: weight entitlements bind solely when someone
+// actually needs the memory.
 func (bp *BufferPool) evictOnce() (bool, error) {
 	view := bp.snapshot()
+	pressure := bp.evictor.waiters.Load() > 0 || bp.alloc.FreeBytes() < bp.cfg.LowWater
+	if fair := view.overEntitled(!pressure); fair != nil {
+		victims, err := bp.cfg.Policy.SelectVictims(fair)
+		if err != nil {
+			return false, fmt.Errorf("core: paging policy %s: %w", bp.cfg.Policy.Name(), err)
+		}
+		if victims = capToOverage(victims); len(victims) > 0 {
+			evicted, err := bp.evictVictims(victims)
+			if evicted > 0 || err != nil {
+				return evicted > 0, err
+			}
+		}
+		// The over-entitled sets had nothing reclaimable (pinned or already
+		// in flight); fall through to the pool-wide pass, but only under
+		// real pressure — a pure quota round must not evict innocents.
+	}
+	if !pressure {
+		return false, nil
+	}
 	victims, err := bp.cfg.Policy.SelectVictims(view)
 	if err != nil {
 		return false, fmt.Errorf("core: paging policy %s: %w", bp.cfg.Policy.Name(), err)
@@ -419,7 +538,31 @@ func (bp *BufferPool) evictOnce() (bool, error) {
 	if len(victims) == 0 {
 		return false, nil
 	}
+	evicted, err := bp.evictVictims(victims)
+	return evicted > 0, err
+}
 
+// capToOverage trims a fairness-pass victim list so one round reclaims at
+// most each set's overage (always at least one page per selected set),
+// keeping self-eviction proportional: a set one page over its share gives
+// up one page, not a full 10% policy batch.
+func capToOverage(victims []PageRef) []PageRef {
+	taken := make(map[*SetSnapshot]int64, 4)
+	out := victims[:0]
+	for _, ref := range victims {
+		if t := taken[ref.Set]; t > 0 && t >= ref.Set.Overage() {
+			continue
+		}
+		taken[ref.Set] += ref.Set.PageSize
+		out = append(out, ref)
+	}
+	return out
+}
+
+// evictVictims claims the policy's chosen victims against live state,
+// spills dirty alive pages with no locks held, then recycles the memory;
+// it returns how many pages were actually evicted.
+func (bp *BufferPool) evictVictims(victims []PageRef) (int, error) {
 	// Group the victim refs by owning set in a single pass, preserving
 	// policy order within each set (the old per-claim rescan of the whole
 	// victims slice made claiming O(sets × victims)).
@@ -506,6 +649,7 @@ func (bp *BufferPool) evictOnce() (bool, error) {
 			p.dirty = false
 			p.evicting = false
 			delete(s.resident, p.num)
+			s.residentBytes.Add(-p.size)
 			offs = append(offs, p.off)
 		}
 		s.cond.Broadcast()
@@ -517,7 +661,7 @@ func (bp *BufferPool) evictOnce() (bool, error) {
 		}
 	}
 	if spillErr != nil {
-		return false, fmt.Errorf("core: spill during eviction: %w", spillErr)
+		return evicted, fmt.Errorf("core: spill during eviction: %w", spillErr)
 	}
-	return evicted > 0, nil
+	return evicted, nil
 }

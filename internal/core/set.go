@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pangea/internal/pfs"
 )
@@ -21,7 +22,31 @@ type LocalitySet struct {
 	id       SetID
 	name     string
 	pageSize int64
-	home     int // home allocator shard; page memory prefers this shard
+	home     int     // home allocator shard; page memory prefers this shard
+	quota    int64   // admission control: resident-byte cap, 0 = unlimited
+	weight   float64 // fair-share weight, 0 = unweighted
+
+	// residentBytes is the set's arena footprint. It is mutated exactly
+	// once per frame transition — charged the moment allocMem carves a
+	// frame for the set (before the page is even inserted, so the daemon
+	// can never observe an under-quota set that is in fact mid-growth) and
+	// released when the frame is freed (eviction, DropSet, or an abandoned
+	// load). At quiescence residentBytes == len(resident)·pageSize, the
+	// invariant the stress tests check. It is an atomic so the eviction
+	// daemon and the per-set gauges read it without taking the set's lock.
+	residentBytes atomic.Int64
+	// pendingBytes counts allocation demand currently blocked in allocMem
+	// on this set's behalf. It counts toward the set's footprint in the
+	// fairness pass, so a tenant sitting exactly at its entitlement whose
+	// next page would push it over self-evicts for that page instead of
+	// stealing from an under-quota set. Touched only on the blocked path.
+	pendingBytes atomic.Int64
+	// spills counts dirty write-backs of this set's pages, attributed by
+	// the spill pipeline; loads counts pages read back from disk on a pin
+	// miss. The fairness experiment reads both to show which tenant
+	// absorbs the eviction I/O and who is forced to re-read.
+	spills atomic.Int64
+	loads  atomic.Int64
 
 	// mu guards everything below, plus the mutable fields of this set's
 	// Pages. Each set has its own lock so Pin/Unpin/NewPage traffic on
@@ -113,6 +138,36 @@ func (s *LocalitySet) ResidentPages() int {
 	return len(s.resident)
 }
 
+// ResidentBytes returns the set's resident-page footprint in bytes.
+func (s *LocalitySet) ResidentBytes() int64 { return s.residentBytes.Load() }
+
+// MemoryQuota returns the set's resident-byte cap (0 = unlimited).
+func (s *LocalitySet) MemoryQuota() int64 { return s.quota }
+
+// Weight returns the set's fair-share weight (0 = unweighted).
+func (s *LocalitySet) Weight() float64 { return s.weight }
+
+// Entitlement returns the set's fair share of the pool in bytes: its
+// quota if one is set, else its weight-proportional share of the arena,
+// else the whole arena (an unconstrained set is never over-entitled).
+func (s *LocalitySet) Entitlement() int64 { return s.pool.entitlement(s) }
+
+// SpillWrites returns how many of this set's dirty pages the eviction
+// daemon has written back.
+func (s *LocalitySet) SpillWrites() int64 { return s.spills.Load() }
+
+// LoadReads returns how many of this set's pages were read back from disk
+// on a pin miss — each one a page this set once had resident and lost.
+func (s *LocalitySet) LoadReads() int64 { return s.loads.Load() }
+
+// dropFrame frees a carved frame that never became (or no longer is) a
+// resident page and releases its admission charge — the abandon-path
+// counterpart of allocMem's charge.
+func (s *LocalitySet) dropFrame(off int64) {
+	s.pool.alloc.Free(off)
+	s.residentBytes.Add(-s.pageSize)
+}
+
 // PageNums returns the sorted page numbers of the set on this node.
 func (s *LocalitySet) PageNums() []int64 {
 	s.mu.Lock()
@@ -129,14 +184,14 @@ func (s *LocalitySet) PageNums() []int64 {
 // The caller must Unpin it when done writing.
 func (s *LocalitySet) NewPage() (*Page, error) {
 	bp := s.pool
-	off, err := bp.allocMem(s.pageSize, s.home)
+	off, err := bp.allocMem(s, s.pageSize)
 	if err != nil {
 		return nil, fmt.Errorf("core: new page for set %q: %w", s.name, err)
 	}
 	s.mu.Lock()
 	if s.dropped {
 		s.mu.Unlock()
-		bp.alloc.Free(off)
+		s.dropFrame(off)
 		return nil, fmt.Errorf("core: set %q is dropped", s.name)
 	}
 	tick := bp.nextTick()
@@ -191,24 +246,25 @@ func (s *LocalitySet) Pin(num int64) (*Page, error) {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
-	off, err := bp.allocMem(s.pageSize, s.home)
+	off, err := bp.allocMem(s, s.pageSize)
 	if err != nil {
 		finish()
 		return nil, fmt.Errorf("core: pin page %d of set %q: %w", num, s.name, err)
 	}
 	buf := bp.arena.Slice(off, s.pageSize)
 	if err := s.file.ReadPage(num, buf); err != nil {
-		bp.alloc.Free(off)
+		s.dropFrame(off)
 		finish()
 		return nil, fmt.Errorf("core: load page %d of set %q: %w", num, s.name, err)
 	}
 	bp.stats.Loads.Add(1)
+	s.loads.Add(1)
 	s.mu.Lock()
 	delete(s.loading, num)
 	if s.dropped {
 		s.cond.Broadcast()
 		s.mu.Unlock()
-		bp.alloc.Free(off)
+		s.dropFrame(off)
 		return nil, fmt.Errorf("core: set %q is dropped", s.name)
 	}
 	tick := bp.nextTick()

@@ -63,6 +63,12 @@ func (sp *spillPipeline) writeBatch(jobs []*spillJob) error {
 			j.err = j.set.file.WritePageAt(j.loc, j.page.num, j.page.Bytes())
 			if j.err == nil {
 				sp.bp.stats.Spills.Add(1)
+				// Attribute the write-back to the owning set: the fairness
+				// experiment reads this gauge to show which tenant's churn
+				// absorbs the eviction I/O. Failed writes count nowhere —
+				// the page stays resident and dirty, so a later retry that
+				// lands will be the one counted.
+				j.set.spills.Add(1)
 			}
 			sp.bp.stats.SpillsInFlight.Add(-1)
 			wg.Done()

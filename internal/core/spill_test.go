@@ -56,8 +56,9 @@ func TestSpillDistributesAcrossDrives(t *testing.T) {
 			t.Errorf("drive %d absorbed no spill writes: pipeline not spread across the array", i)
 		}
 	}
+	waitEvictorIdle(t, bp)
 	if got := bp.Stats().SpillsInFlight.Load(); got != 0 {
-		t.Fatalf("SpillsInFlight = %d between batches, want 0", got)
+		t.Fatalf("SpillsInFlight = %d with the daemon at rest, want 0", got)
 	}
 	for num := int64(0); num < total; num++ {
 		p, err := s.Pin(num)
@@ -171,6 +172,9 @@ func TestSpillAllDrivesFailing(t *testing.T) {
 		t.Fatalf("got %v, want the injected %v", sawErr, sentinel)
 	}
 	arr.Disk(0).SetWriteFault(nil)
+	// Failed spill rounds kept every victim resident — the admission gauge
+	// must not have been unwound for a page that never left the pool.
+	checkResidencyGauges(t, []*LocalitySet{s})
 	for num := int64(0); num < s.NumPages(); num++ {
 		p, err := s.Pin(num)
 		if err != nil {
@@ -185,6 +189,9 @@ func TestSpillAllDrivesFailing(t *testing.T) {
 	}
 	if err := bp.DropSet(s); err != nil {
 		t.Fatal(err)
+	}
+	if got := s.ResidentBytes(); got != 0 {
+		t.Errorf("ResidentBytes = %d after DropSet, want 0", got)
 	}
 }
 
@@ -274,12 +281,19 @@ func TestSpillPinRaceStress(t *testing.T) {
 	for err := range errCh {
 		t.Fatal(err)
 	}
+	// The daemon may still be draining a background round kicked by the
+	// storm's tail; the gauge must read zero once it comes to rest.
+	waitEvictorIdle(t, bp)
 	if got := bp.Stats().SpillsInFlight.Load(); got != 0 {
-		t.Fatalf("SpillsInFlight = %d after the storm, want 0", got)
+		t.Fatalf("SpillsInFlight = %d with the daemon at rest, want 0", got)
 	}
+	checkResidencyGauges(t, []*LocalitySet{hot, cold})
 	for _, s := range []*LocalitySet{hot, cold} {
 		if err := bp.DropSet(s); err != nil {
 			t.Fatal(err)
+		}
+		if got := s.ResidentBytes(); got != 0 {
+			t.Errorf("set %s: ResidentBytes = %d after DropSet, want 0", s.Name(), got)
 		}
 	}
 	if bp.UsedBytes() != 0 {

@@ -166,11 +166,13 @@ func TestPoolConcurrentStress(t *testing.T) {
 	}
 
 	// Invariants after the storm: accounting is sane, every allocator
-	// shard's physical chain is intact, and every page that was fully
-	// written survives with its contents intact.
+	// shard's physical chain is intact, every set's admission gauge matches
+	// its resident map (each release path unwound it exactly once), and
+	// every page that was fully written survives with its contents intact.
 	if err := bp.alloc.CheckConsistency(); err != nil {
 		t.Fatalf("allocator inconsistent after stress: %v", err)
 	}
+	checkResidencyGauges(t, sets)
 	if used := bp.UsedBytes(); used < 0 || used > bp.Capacity() {
 		t.Fatalf("UsedBytes %d outside [0, %d]", used, bp.Capacity())
 	}
@@ -195,6 +197,9 @@ func TestPoolConcurrentStress(t *testing.T) {
 		}
 		if err := bp.DropSet(s); err != nil {
 			t.Fatalf("DropSet(%s): %v", s.Name(), err)
+		}
+		if got := s.ResidentBytes(); got != 0 {
+			t.Errorf("set %s: ResidentBytes = %d after DropSet, want 0", s.Name(), got)
 		}
 	}
 	if bp.UsedBytes() != 0 {

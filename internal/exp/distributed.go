@@ -421,16 +421,18 @@ func Fig6(o Options) (*Table, error) {
 
 // --- §7 colliding-object study ----------------------------------------------------
 
-// S7 counts colliding objects without moving data, across the paper's
-// cluster sizes, against the n/k² expectation for three organizations.
-func S7(o Options) (*Table, error) {
+// S7Colliding counts colliding objects without moving data, across the
+// paper's cluster sizes, against the n/k² expectation for three
+// organizations. (Registered as s7c; the s7 slot now holds the
+// multi-tenant fairness experiment.)
+func S7Colliding(o Options) (*Table, error) {
 	n := o.pick(20000, 100000)
 	d := tpch.Generate(float64(n)/6_000_000, 31)
 	key := func(f func([]byte) []byte) placement.KeyFunc {
 		return func(rec []byte) ([]byte, error) { return f(rec), nil }
 	}
 	t := &Table{
-		ID:     "s7",
+		ID:     "s7c",
 		Title:  fmt.Sprintf("colliding objects for two lineitem partitionings (%d rows)", len(d.Lineitem)),
 		Header: []string{"workers", "colliding", "ratio", "expected ~1/k^2"},
 	}

@@ -120,10 +120,11 @@ var Registry = []struct {
 	{"tab2", Tab2, "SLOC breakdown of the query processor"},
 	{"tab3", Tab3, "shuffle write/read: simulated Spark shuffle vs Pangea"},
 	{"tab4", Tab4, "key-value aggregation: Go map vs Pangea hashmap vs Redis-like"},
-	{"s7", S7, "colliding objects vs node count and the n/k estimate"},
+	{"s7c", S7Colliding, "colliding objects vs node count and the n/k estimate"},
 	{"s5", S5Concurrency, "parallel Pin/Unpin throughput: shared set vs per-goroutine sets"},
 	{"s5b", S5AllocShards, "parallel page alloc/free throughput: 1 TLSF shard vs one per core"},
 	{"s6", S6SpillThroughput, "spill throughput vs drive count: per-drive write-back pipeline"},
+	{"s7", S7Fairness, "multi-tenant fairness: per-set admission control vs an aggressive hot set"},
 }
 
 // Run executes one experiment by id.

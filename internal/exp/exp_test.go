@@ -189,7 +189,7 @@ func TestTab2CountsRealFiles(t *testing.T) {
 }
 
 func TestS7RatioDeclines(t *testing.T) {
-	tab, err := S7(quickOpts(t))
+	tab, err := S7Colliding(quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,6 +203,50 @@ func TestS7RatioDeclines(t *testing.T) {
 			t.Errorf("ratio rose with more nodes: %v", tab.Rows)
 		}
 		prev = v
+	}
+}
+
+// TestS7FairnessProtectsPolite: with a fair-share weight or a hard quota
+// on the aggressor, the well-behaved tenant must retain its residency
+// share (within 10% of its provisioned working set) and suffer almost no
+// forced reloads, while the unprotected baseline shows real starvation.
+func TestS7FairnessProtectsPolite(t *testing.T) {
+	tab, err := S7Fairness(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("share cell %q not numeric", cell)
+		}
+		return v
+	}
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	// The polite working set is 3/8 = 37.5% of the pool; within 10% means
+	// its minimum share never drops below ~27.5%.
+	for _, name := range []string{"weights 1:1", "quota on aggressor"} {
+		row := byName[name]
+		if row == nil {
+			t.Fatalf("no %q row in %v", name, tab.Rows)
+		}
+		if got := share(row[2]); got < 27.5 {
+			t.Errorf("%s: min polite share = %v%%, want >= 27.5%% (held within 10%% of its 37.5%% working set)", name, got)
+		}
+		loads, err := strconv.Atoi(row[6])
+		if err != nil || loads > 3 {
+			t.Errorf("%s: polite forced reloads = %v, want ~0", name, row[6])
+		}
+	}
+	baseline := byName["none"]
+	if baseline == nil {
+		t.Fatalf("no baseline row in %v", tab.Rows)
+	}
+	if loads, _ := strconv.Atoi(baseline[6]); loads == 0 {
+		t.Error("baseline shows no polite reloads: the aggressor failed to starve anyone, so the experiment demonstrates nothing")
 	}
 }
 
