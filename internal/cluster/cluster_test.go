@@ -271,6 +271,50 @@ func TestSetStats(t *testing.T) {
 	}
 }
 
+// TestNodeStats: a worker reports its pool's NUMA placement gauges over
+// the wire — topology shape, per-node residency that accounts for the
+// resident pages, and the cross-node steal counter (zero on the test
+// machines' single-node or synthetic shapes with no memory pressure).
+func TestNodeStats(t *testing.T) {
+	_, workers, cl := startCluster(t, 1, 4<<20)
+	w := workers[0]
+	if err := cl.CreateSet("ns", 4096, uint8(core.WriteBack)); err != nil {
+		t.Fatal(err)
+	}
+	var recs [][]byte
+	for i := 0; i < 50; i++ {
+		recs = append(recs, make([]byte, 100))
+	}
+	if err := cl.AddRecords(w.Addr(), "ns", recs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.NodeStats(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes < 1 || st.Shards < 1 {
+		t.Fatalf("NodeStats = %+v, want at least one node and shard", st)
+	}
+	if len(st.NodeUsedBytes) != st.Nodes {
+		t.Fatalf("NodeUsedBytes has %d entries for %d nodes", len(st.NodeUsedBytes), st.Nodes)
+	}
+	var sum int64
+	for _, u := range st.NodeUsedBytes {
+		sum += u
+	}
+	if sum != w.Pool().UsedBytes() || sum == 0 {
+		t.Errorf("NodeUsedBytes sums to %d, pool uses %d (want equal and nonzero)", sum, w.Pool().UsedBytes())
+	}
+	if st.CrossNodeSteals != w.Pool().Stats().CrossNodeSteals.Load() {
+		t.Errorf("CrossNodeSteals = %d over the wire, pool reports %d", st.CrossNodeSteals, w.Pool().Stats().CrossNodeSteals.Load())
+	}
+	// The gauges are worker-wide, so a bad key is the only failure mode.
+	bad := NewClient("", "wrong-key")
+	if _, err := bad.NodeStats(w.Addr()); err == nil {
+		t.Error("worker accepted node-stats request with an invalid key")
+	}
+}
+
 // TestCreateSetSpecPlumbsAdmissionFields: quota and weight travel the wire
 // to the worker's buffer pool, and the stats reply reports the resulting
 // entitlement and residency gauges.

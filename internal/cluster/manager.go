@@ -182,6 +182,10 @@ func respErr(msg any, err error) error {
 		if r.Err != "" {
 			return errors.New(r.Err)
 		}
+	case NodeStatsResp:
+		if r.Err != "" {
+			return errors.New(r.Err)
+		}
 	}
 	return nil
 }
@@ -286,6 +290,16 @@ func (cl *Client) SetStats(addr, set string) (SetStatsResp, error) {
 		return SetStatsResp{}, err
 	}
 	return msg.(SetStatsResp), nil
+}
+
+// NodeStats queries one worker's NUMA placement gauges: per-node resident
+// bytes, shard partitioning, and cross-node steal count.
+func (cl *Client) NodeStats(addr string) (NodeStatsResp, error) {
+	msg, err := call(addr, NodeStatsReq{Auth: cl.auth})
+	if err := respErr(msg, err); err != nil {
+		return NodeStatsResp{}, err
+	}
+	return msg.(NodeStatsResp), nil
 }
 
 // RegisterReplica records target as a replica of source in the statistics

@@ -160,6 +160,22 @@ type SetStatsResp struct {
 	Err           string
 }
 
+// NodeStatsReq asks a worker for its buffer pool's NUMA placement gauges.
+type NodeStatsReq struct{ Auth string }
+
+// NodeStatsResp reports one worker's memory-placement view: how the
+// allocator shards are partitioned over the node's NUMA topology, how many
+// arena bytes are resident per node, and how often allocations had to
+// cross the interconnect. Single-node workers report one node and zero
+// steals.
+type NodeStatsResp struct {
+	Nodes           int
+	Shards          int
+	NodeUsedBytes   []int64
+	CrossNodeSteals int64
+	Err             string
+}
+
 // RegisterReplicaReq records replica metadata in the manager's statistics
 // database (§7): target set is a replica of source set under scheme.
 type RegisterReplicaReq struct {
@@ -210,6 +226,8 @@ func init() {
 	gob.Register(DropSetReq{})
 	gob.Register(SetStatsReq{})
 	gob.Register(SetStatsResp{})
+	gob.Register(NodeStatsReq{})
+	gob.Register(NodeStatsResp{})
 	gob.Register(RegisterReplicaReq{})
 	gob.Register(GetReplicasReq{})
 	gob.Register(GetReplicasResp{})

@@ -165,6 +165,8 @@ func (w *Worker) handleConn(c *conn) {
 		c.send(w.handleDropSet(req))
 	case SetStatsReq:
 		c.send(w.handleSetStats(req))
+	case NodeStatsReq:
+		c.send(w.handleNodeStats(req))
 	case ShutdownReq:
 		if w.checkAuth(req.Auth) == nil {
 			c.send(OKResp{})
@@ -470,5 +472,17 @@ func (w *Worker) handleSetStats(req SetStatsReq) SetStatsResp {
 		ResidentBytes: set.ResidentBytes(),
 		Entitlement:   set.Entitlement(),
 		DiskBytes:     set.DiskBytes(),
+	}
+}
+
+func (w *Worker) handleNodeStats(req NodeStatsReq) NodeStatsResp {
+	if err := w.checkAuth(req.Auth); err != nil {
+		return NodeStatsResp{Err: err.Error()}
+	}
+	return NodeStatsResp{
+		Nodes:           w.pool.NUMANodes(),
+		Shards:          w.pool.AllocatorShards(),
+		NodeUsedBytes:   w.pool.NodeUsedBytes(),
+		CrossNodeSteals: w.pool.Stats().CrossNodeSteals.Load(),
 	}
 }

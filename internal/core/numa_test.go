@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pangea/internal/disk"
+	"pangea/internal/numa"
+)
+
+// numaPool builds a pool over a synthetic topology (NUMANodes shape) with a
+// fixed shard count.
+func numaPool(t *testing.T, mem int64, shards, nodes int) *BufferPool {
+	t.Helper()
+	arr, err := disk.NewArray(t.TempDir(), 1, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	bp, err := NewPool(PoolConfig{
+		Memory: mem, Array: arr, AllocShards: shards, NUMANodes: nodes,
+		// Keep the everything-pinned failure path fast: those tests assert
+		// on ErrNoEvictable, not on how long the daemon waits for it.
+		AllocTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestPoolConfigNUMAValidation(t *testing.T) {
+	arr, err := disk.NewArray(t.TempDir(), 1, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	if _, err := NewPool(PoolConfig{Memory: 1 << 20, Array: arr, AllocShards: -1}); err == nil {
+		t.Error("negative AllocShards must be rejected")
+	}
+	if _, err := NewPool(PoolConfig{Memory: 1 << 20, Array: arr, NUMANodes: -2}); err == nil {
+		t.Error("negative NUMANodes must be rejected")
+	}
+}
+
+// TestPoolNodeAffineHome: under a synthetic multi-node topology, every
+// created set's home node is a real node, and with an explicit single-node
+// topology all sets keep home node 0 (the seed behaviour).
+func TestPoolNodeAffineHome(t *testing.T) {
+	bp := numaPool(t, 8<<20, 4, 2)
+	if bp.NUMANodes() != 2 {
+		t.Fatalf("NUMANodes = %d, want 2", bp.NUMANodes())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		s, err := bp.CreateSet(SetSpec{Name: fmt.Sprintf("s%d", i), PageSize: 4 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := s.HomeNode(); n < 0 || n >= 2 {
+			t.Fatalf("set %d home node = %d", i, n)
+		} else {
+			seen[n] = true
+		}
+	}
+	// The fake topology's default current-CPU walk visits both nodes, so
+	// homes must not all collapse onto one node.
+	if len(seen) != 2 {
+		t.Errorf("8 sets homed on nodes %v, want both nodes used", seen)
+	}
+
+	arr, err := disk.NewArray(t.TempDir(), 1, disk.Unthrottled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = arr.RemoveAll() })
+	single, err := NewPool(PoolConfig{Memory: 8 << 20, Array: arr, AllocShards: 4, Topology: numa.SingleNode()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := single.CreateSet(SetSpec{Name: "s", PageSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HomeNode() != 0 {
+		t.Errorf("single-node home node = %d, want 0", s.HomeNode())
+	}
+}
+
+// TestPoolCrossNodeDrain: one set must be able to pin nearly the whole pool
+// even when its home node's shards cover only half of it — the allocator
+// crosses the interconnect (counting steals) instead of reporting
+// ErrNoEvictable while remote shards hold free memory.
+func TestPoolCrossNodeDrain(t *testing.T) {
+	const pageSize = 64 << 10
+	bp := numaPool(t, 4<<20, 4, 2)
+	s, err := bp.CreateSet(SetSpec{Name: "hog", PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages []*Page
+	for {
+		p, err := s.NewPage()
+		if err != nil {
+			if !errors.Is(err, ErrNoEvictable) {
+				t.Fatalf("NewPage: %v", err)
+			}
+			break
+		}
+		pages = append(pages, p) // keep pinned: eviction can never help
+	}
+	// 4 MiB pool, 64 KiB pages: well past the two home-node shards' ~32.
+	if len(pages) < 48 {
+		t.Fatalf("only %d pinned pages before OOM; cross-node drain failed", len(pages))
+	}
+	if bp.Stats().CrossNodeSteals.Load() == 0 {
+		t.Error("CrossNodeSteals = 0 after overflowing the home node")
+	}
+	view := bp.snapshot()
+	if len(view.NodeUsed) != 2 {
+		t.Fatalf("PolicyView.NodeUsed len = %d, want 2", len(view.NodeUsed))
+	}
+	if view.NodeUsed[0] == 0 || view.NodeUsed[1] == 0 {
+		t.Errorf("NodeUsed = %v, want both nodes carrying pages", view.NodeUsed)
+	}
+	if view.CrossNodeSteals == 0 {
+		t.Error("PolicyView.CrossNodeSteals = 0 after cross-node overflow")
+	}
+	var sum int64
+	for _, u := range view.NodeUsed {
+		sum += u
+	}
+	if sum != bp.UsedBytes() {
+		t.Errorf("NodeUsed sums to %d, UsedBytes = %d", sum, bp.UsedBytes())
+	}
+	for _, p := range pages {
+		if err := s.Unpin(p, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bp.DropSet(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.UsedBytes(); got != 0 {
+		t.Errorf("UsedBytes = %d after drop", got)
+	}
+}
+
+// TestPoolNUMAStress is the -race stress for the node-affine path:
+// concurrent CreateSet/alloc/free across a fake 2-node topology under real
+// memory pressure, with interleaved per-shard consistency checks, then the
+// residency-gauge and per-node accounting invariants at quiescence.
+func TestPoolNUMAStress(t *testing.T) {
+	const (
+		pageSize = 4 << 10
+		workers  = 8
+		iters    = 300
+	)
+	bp := numaPool(t, 8<<20, 4, 2)
+
+	var workersWG sync.WaitGroup
+	errCh := make(chan error, workers+1)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for w := 0; w < workers; w++ {
+		workersWG.Add(1)
+		go func(w int) {
+			defer workersWG.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			gen := 0
+			s, err := bp.CreateSet(SetSpec{Name: fmt.Sprintf("w%d.%d", w, gen), PageSize: pageSize})
+			if err != nil {
+				fail(err)
+				return
+			}
+			for it := 0; it < iters; it++ {
+				p, err := s.NewPage()
+				if err != nil {
+					fail(fmt.Errorf("worker %d: NewPage: %w", w, err))
+					return
+				}
+				stamp(p.Bytes(), int64(w), p.Num())
+				if err := s.Unpin(p, rng.Intn(2) == 0); err != nil {
+					fail(err)
+					return
+				}
+				// Recycle the set periodically: fresh CreateSet calls keep
+				// re-running the node-affine home placement under load.
+				if s.NumPages() >= 48 {
+					if err := bp.DropSet(s); err != nil {
+						fail(fmt.Errorf("worker %d: DropSet: %w", w, err))
+						return
+					}
+					gen++
+					s, err = bp.CreateSet(SetSpec{Name: fmt.Sprintf("w%d.%d", w, gen), PageSize: pageSize})
+					if err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+			if err := bp.DropSet(s); err != nil {
+				fail(err)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var checkerWG sync.WaitGroup
+	checkerWG.Add(1)
+	go func() {
+		defer checkerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := bp.alloc.CheckConsistency(); err != nil {
+				fail(fmt.Errorf("mid-stress shard check: %w", err))
+				return
+			}
+			if used := bp.NodeUsedBytes(); len(used) != 2 {
+				fail(fmt.Errorf("NodeUsedBytes len = %d mid-stress", len(used)))
+				return
+			}
+		}
+	}()
+	workersWG.Wait()
+	close(stop)
+	checkerWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := bp.UsedBytes(); got != 0 {
+		t.Errorf("UsedBytes = %d after dropping every set, want 0", got)
+	}
+	var perNode int64
+	for _, u := range bp.NodeUsedBytes() {
+		perNode += u
+	}
+	if perNode != 0 {
+		t.Errorf("NodeUsedBytes sums to %d at quiescence, want 0", perNode)
+	}
+	if err := bp.alloc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolSingleShardSeedBehaviourUnderFakeNUMA: AllocShards=1 must pin the
+// entire topology onto shard 0 — home node 0 for every set, zero cross-node
+// steals — no matter how many synthetic nodes the topology reports. The
+// pool-level guarantee behind the allocator-level seed-equivalence test.
+func TestPoolSingleShardSeedBehaviourUnderFakeNUMA(t *testing.T) {
+	bp := numaPool(t, 4<<20, 1, 4)
+	if bp.AllocatorShards() != 1 {
+		t.Fatalf("AllocatorShards = %d, want 1", bp.AllocatorShards())
+	}
+	for i := 0; i < 6; i++ {
+		s, err := bp.CreateSet(SetSpec{Name: fmt.Sprintf("s%d", i), PageSize: 4 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.HomeNode() != 0 {
+			t.Errorf("set %d home node = %d with one shard, want 0", i, s.HomeNode())
+		}
+		for j := 0; j < 16; j++ {
+			p, err := s.NewPage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Unpin(p, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := bp.Stats().CrossNodeSteals.Load(); got != 0 {
+		t.Errorf("CrossNodeSteals = %d with one shard, want 0", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"pangea/internal/disk"
 	"pangea/internal/memory"
+	"pangea/internal/numa"
 	"pangea/internal/pfs"
 )
 
@@ -62,8 +63,22 @@ type PoolConfig struct {
 	HighWater int64
 	// AllocShards is the number of TLSF allocator shards (rounded to a
 	// power of two, each shard at least 1 MiB). 0 selects ~GOMAXPROCS;
-	// 1 restores the seed's single shared allocator.
+	// 1 restores the seed's single shared allocator; negative is rejected.
+	// The effective count is AllocatorShards.
 	AllocShards int
+	// Topology is the machine's NUMA topology. Allocator shards are
+	// partitioned across its nodes, each shard's arena region is bound to
+	// its node (mmap-backed arenas on real multi-socket hardware), and a
+	// locality set's home shard is chosen on the node of the worker that
+	// creates it. nil selects numa.Discover(), which honours the
+	// PANGEA_FAKE_NUMA override; single-node machines keep the exact
+	// pre-NUMA behaviour.
+	Topology numa.Topology
+	// NUMANodes overrides Topology with a synthetic N-node shape
+	// (numa.NewFake over GOMAXPROCS CPUs) so tests and experiments can
+	// exercise the cross-node paths on any machine. 0 defers to Topology;
+	// negative is rejected.
+	NUMANodes int
 }
 
 // PoolStats counts buffer pool activity.
@@ -77,6 +92,12 @@ type PoolStats struct {
 	// the daemon is between batches: evictOnce waits for the whole batch
 	// before releasing any page frame.
 	SpillsInFlight atomic.Int64
+	// CrossNodeSteals counts allocations that crossed the NUMA
+	// interconnect: page frames served by an allocator shard on a
+	// different node than the home shard's, after the home node was
+	// exhausted. Bumped by the allocator itself; stays zero on single-node
+	// topologies.
+	CrossNodeSteals atomic.Int64
 }
 
 // ErrNoEvictable is returned when an allocation cannot be satisfied because
@@ -96,6 +117,7 @@ var ErrNoEvictable = errors.New("core: buffer pool exhausted and nothing evictab
 // block on the daemon's broadcast channel instead of polling.
 type BufferPool struct {
 	cfg   PoolConfig
+	topo  numa.Topology
 	arena *memory.Arena
 	alloc memory.Allocator
 	array *disk.Array
@@ -124,6 +146,12 @@ func NewPool(cfg PoolConfig) (*BufferPool, error) {
 	if cfg.Array == nil {
 		return nil, errors.New("core: pool requires a disk array")
 	}
+	if cfg.AllocShards < 0 {
+		return nil, fmt.Errorf("core: negative allocator shard count %d", cfg.AllocShards)
+	}
+	if cfg.NUMANodes < 0 {
+		return nil, fmt.Errorf("core: negative NUMA node count %d", cfg.NUMANodes)
+	}
 	if cfg.Policy == nil {
 		cfg.Policy = NewDataAware()
 	}
@@ -148,16 +176,24 @@ func NewPool(cfg PoolConfig) (*BufferPool, error) {
 	if cfg.HighWater < cfg.LowWater {
 		cfg.HighWater = cfg.LowWater
 	}
-	arena := memory.NewArena(cfg.Memory)
+	topo := cfg.Topology
+	if cfg.NUMANodes > 0 {
+		topo = numa.NewFakeAuto(cfg.NUMANodes)
+	}
+	if topo == nil {
+		topo = numa.Discover()
+	}
+	arena := memory.NewNUMAArena(cfg.Memory, topo)
 	bp := &BufferPool{
 		cfg:      cfg,
+		topo:     topo,
 		arena:    arena,
-		alloc:    memory.NewShardedTLSF(arena, cfg.AllocShards),
 		array:    cfg.Array,
 		sets:     make(map[SetID]*LocalitySet),
 		byName:   make(map[string]*LocalitySet),
 		reserved: make(map[string]bool),
 	}
+	bp.alloc = memory.NewShardedTLSFNUMA(arena, cfg.AllocShards, topo, &bp.stats.CrossNodeSteals)
 	bp.evictor = newEvictor(bp)
 	bp.spill = newSpillPipeline(bp, cfg.Array)
 	return bp, nil
@@ -200,7 +236,7 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 	// on an empty pool and fail with a misleading ErrNoEvictable.
 	if max := bp.alloc.MaxAlloc(); spec.PageSize > max {
 		return nil, fmt.Errorf("core: page size %d exceeds the %d-byte shard maximum (pool %d bytes in %d allocator shards)",
-			spec.PageSize, max, bp.cfg.Memory, bp.alloc.NumShards())
+			spec.PageSize, max, bp.cfg.Memory, bp.alloc.Shards())
 	}
 	if spec.MemoryQuota < 0 || spec.Weight < 0 {
 		return nil, fmt.Errorf("core: set %q: negative quota/weight (%d, %g)", spec.Name, spec.MemoryQuota, spec.Weight)
@@ -235,12 +271,19 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 		bp.regMu.Unlock()
 		return nil, err
 	}
+	// Node-affine home: the set's page memory prefers a shard local to the
+	// NUMA node of the worker creating the set — the paper's locality-set
+	// model extended down to the DRAM the pages land in. CurrentNode is a
+	// hint (the goroutine can migrate), but locality sets are overwhelmingly
+	// created and consumed by the same worker, so it is the right prior.
+	home := bp.alloc.HomeShardOn(bp.topo.CurrentNode(), int(id))
 	s := &LocalitySet{
 		pool:     bp,
 		id:       id,
 		name:     spec.Name,
 		pageSize: spec.PageSize,
-		home:     bp.alloc.HomeShard(int(id)),
+		home:     home,
+		homeNode: bp.alloc.NodeOfShard(home),
 		quota:    spec.MemoryQuota,
 		weight:   spec.Weight,
 		attrs:    Attributes{Durability: spec.Durability, Pinned: spec.Pinned},
@@ -334,7 +377,19 @@ func (bp *BufferPool) Sets() []*LocalitySet {
 func (bp *BufferPool) Capacity() int64 { return bp.cfg.Memory }
 
 // AllocatorShards reports how many TLSF shards the arena was split into.
-func (bp *BufferPool) AllocatorShards() int { return bp.alloc.NumShards() }
+func (bp *BufferPool) AllocatorShards() int { return bp.alloc.Shards() }
+
+// NUMANodes reports how many NUMA nodes the allocator shards are
+// partitioned over (1 on single-node machines).
+func (bp *BufferPool) NUMANodes() int { return bp.alloc.NumNodes() }
+
+// NodeUsedBytes returns the arena bytes currently allocated per NUMA node;
+// the per-node residency gauges that PolicyView and the cluster's node
+// stats expose.
+func (bp *BufferPool) NodeUsedBytes() []int64 { return bp.alloc.NodeUsed() }
+
+// Topology returns the topology the pool was built over.
+func (bp *BufferPool) Topology() numa.Topology { return bp.topo }
 
 // UsedBytes returns the bytes currently allocated from the arena.
 func (bp *BufferPool) UsedBytes() int64 { return bp.alloc.Used() }

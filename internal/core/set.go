@@ -23,6 +23,7 @@ type LocalitySet struct {
 	name     string
 	pageSize int64
 	home     int     // home allocator shard; page memory prefers this shard
+	homeNode int     // NUMA node of the home shard (the creating worker's)
 	quota    int64   // admission control: resident-byte cap, 0 = unlimited
 	weight   float64 // fair-share weight, 0 = unweighted
 
@@ -71,6 +72,12 @@ func (s *LocalitySet) Name() string { return s.name }
 
 // PageSize returns the fixed page size shared by all pages of the set.
 func (s *LocalitySet) PageSize() int64 { return s.pageSize }
+
+// HomeNode returns the NUMA node of the set's home allocator shard — the
+// node of the worker that created the set, when that node owns shards. The
+// set's page memory is node-local to it unless the node was exhausted at
+// allocation time.
+func (s *LocalitySet) HomeNode() int { return s.homeNode }
 
 // Attrs returns a snapshot of the set's attribute tags.
 func (s *LocalitySet) Attrs() Attributes {

@@ -125,6 +125,7 @@ var Registry = []struct {
 	{"s5b", S5AllocShards, "parallel page alloc/free throughput: 1 TLSF shard vs one per core"},
 	{"s6", S6SpillThroughput, "spill throughput vs drive count: per-drive write-back pipeline"},
 	{"s7", S7Fairness, "multi-tenant fairness: per-set admission control vs an aggressive hot set"},
+	{"s8", S8Locality, "NUMA shard placement: node-affine vs interleaved allocation, real and fake topologies"},
 }
 
 // Run executes one experiment by id.

@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pangea/internal/memory"
+	"pangea/internal/numa"
+)
+
+// S8Locality measures what NUMA-aware shard placement buys: parallel page
+// alloc/free traffic against the sharded allocator under three placements —
+// node-affine homes (each worker's sets homed on its own node's shards),
+// the interleaved baseline (homes spread over every shard regardless of
+// node, the pre-NUMA behaviour), and an adversarial hot-node run (every
+// worker homed on node 0, overflowing it so the two-tier steal must cross
+// the interconnect). Each placement runs on the real discovered topology
+// and on fake 2- and 4-node shapes, so the cross-node columns are
+// meaningful on any machine. On single-socket hardware the throughput
+// columns tie — the remote-allocation fraction and cross-node steal counts
+// are the locality the placement controls, and on a multi-socket box every
+// remote allocation is a page served at remote-DRAM latency for its whole
+// residency.
+func S8Locality(o Options) (*Table, error) {
+	const (
+		workers    = 8
+		shards     = 8
+		arenaBytes = 32 << 20
+		allocSize  = 64 << 10
+		window     = 40 // live blocks per worker; sized to overflow one node
+	)
+	ops := o.pick(4000, 40000)
+	t := &Table{
+		ID:     "s8",
+		Title:  "NUMA shard placement: node-affine vs interleaved page allocation",
+		Header: []string{"topology", "placement", "kops/s", "remote allocs", "cross-node steals"},
+	}
+
+	type shape struct {
+		name string
+		topo numa.Topology
+		// nodeOf maps a worker index to the node it notionally runs on.
+		nodeOf func(w int) int
+	}
+	real := numa.Discover()
+	shapes := []shape{
+		{fmt.Sprintf("real (%d node)", real.NumNodes()), real, func(int) int { return real.CurrentNode() }},
+	}
+	for _, nodes := range []int{2, 4} {
+		fake := numa.NewFake(nodes, workers)
+		shapes = append(shapes, shape{fmt.Sprintf("fake-%d", nodes), fake, fake.NodeOfCPU})
+	}
+
+	// home picks the i-th allocation's home shard for worker w, whose node
+	// was sampled once at worker start — the same cadence as the pool,
+	// which consults CurrentNode once per CreateSet, never per allocation.
+	// Node-affine pins each worker to its own node's shards; interleaved
+	// walks every shard regardless of node — the pre-NUMA behaviour, where
+	// a set's home was its ID over all shards and so uncorrelated with the
+	// creating worker's node; affine-hot-node homes everyone on node 0 so
+	// the node overflows and the two-tier steal has to cross.
+	type placement struct {
+		name string
+		home func(alloc *memory.ShardedTLSF, node, w, i int) int
+	}
+	placements := []placement{
+		{"node-affine", func(a *memory.ShardedTLSF, node, w, _ int) int {
+			return a.HomeShardOn(node, w)
+		}},
+		{"interleaved", func(a *memory.ShardedTLSF, _, w, i int) int {
+			return a.HomeShard(w + i)
+		}},
+		{"affine-hot-node", func(a *memory.ShardedTLSF, _, w, _ int) int {
+			return a.HomeShardOn(0, w)
+		}},
+	}
+
+	for _, sh := range shapes {
+		for _, pl := range placements {
+			alloc := memory.NewShardedTLSFNUMA(memory.NewArena(arenaBytes), shards, sh.topo, nil)
+			var remote, total int64
+			var mu sync.Mutex
+			run := func(ops int, count bool) (time.Duration, error) {
+				errs := make(chan error, workers)
+				// Barrier after the window fill: the placement question is
+				// about co-resident working sets, so every worker's window
+				// must be live at once — without this, a single-core
+				// scheduler can run the workers back to back and no node
+				// ever overflows.
+				var ready sync.WaitGroup
+				ready.Add(workers)
+				churn := make(chan struct{})
+				go func() {
+					ready.Wait()
+					close(churn)
+				}()
+				start := time.Now()
+				for w := 0; w < workers; w++ {
+					go func(w int) {
+						node := sh.nodeOf(w)
+						var rem, tot int64
+						note := func(off int64) {
+							tot++
+							if alloc.NodeOfShard(alloc.ShardOf(off)) != node {
+								rem++
+							}
+						}
+						live := make([]int64, 0, window)
+						var fillErr error
+						for len(live) < window {
+							off, err := alloc.AllocAffinity(allocSize, pl.home(alloc, node, w, len(live)))
+							if err != nil {
+								fillErr = err
+								break
+							}
+							note(off)
+							live = append(live, off)
+						}
+						ready.Done()
+						if fillErr != nil {
+							errs <- fillErr
+							return
+						}
+						<-churn
+						h := 0
+						for i := window; i < ops; i++ {
+							off, err := alloc.AllocAffinity(allocSize, pl.home(alloc, node, w, i))
+							if err != nil {
+								errs <- err
+								return
+							}
+							note(off)
+							alloc.Free(live[h])
+							live[h] = off
+							h = (h + 1) % window
+						}
+						for _, off := range live {
+							alloc.Free(off)
+						}
+						if count {
+							mu.Lock()
+							remote += rem
+							total += tot
+							mu.Unlock()
+						}
+						errs <- nil
+					}(w)
+				}
+				for w := 0; w < workers; w++ {
+					if err := <-errs; err != nil {
+						return 0, err
+					}
+				}
+				return time.Since(start), nil
+			}
+			if _, err := run(ops/4, false); err != nil { // warm-up
+				return nil, err
+			}
+			// Steals are reported as the measured-run delta so both
+			// locality columns describe the same window.
+			stealsBefore := alloc.CrossNodeSteals()
+			elapsed, err := run(ops, true)
+			if err != nil {
+				return nil, err
+			}
+			kops := float64(workers*ops) / elapsed.Seconds() / 1000
+			t.AddRow(sh.name, pl.name,
+				fmt.Sprintf("%.0f", kops),
+				fmt.Sprintf("%.1f%%", 100*float64(remote)/float64(total)),
+				fmt.Sprintf("%d", alloc.CrossNodeSteals()-stealsBefore))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"remote allocs = blocks served by a shard on a different node than the worker's; each is remote DRAM for the page's whole residency on real hardware",
+		"node-affine keeps allocation node-local until a node genuinely overflows (affine-hot-node), where the two-tier steal crosses the interconnect instead of failing",
+		"interleaved is the pre-NUMA baseline: home shards assigned round-robin over all shards, so most pages land remote by construction")
+	return t, nil
+}

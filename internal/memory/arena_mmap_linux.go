@@ -1,0 +1,35 @@
+//go:build linux
+
+package memory
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// mmapBytes maps an anonymous private region of the given size, or reports
+// false so the caller can fall back to heap memory. The mapping is not
+// touched, so its physical pages are placed at first fault — which is what
+// lets a per-shard mbind decide where each region lands.
+func mmapBytes(size int64) ([]byte, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	buf, err := syscall.Mmap(-1, 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANON)
+	if err != nil {
+		return nil, false
+	}
+	return buf, true
+}
+
+// finalizeMmap unmaps the region when its Arena is collected; mmap'd bytes
+// are invisible to the GC, so without this every pool would leak its arena
+// until process exit.
+func finalizeMmap(a *Arena) {
+	buf := a.buf
+	a.buf = nil
+	runtime.SetFinalizer(a, nil)
+	_ = syscall.Munmap(buf)
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package memory
+
+// mmapBytes reports false on platforms without the anonymous-mmap path;
+// NewMmapArena degrades to an ordinary heap arena.
+func mmapBytes(size int64) ([]byte, bool) { return nil, false }
+
+func finalizeMmap(a *Arena) {}

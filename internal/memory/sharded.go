@@ -6,13 +6,15 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pangea/internal/numa"
 )
 
 // Allocator is the arena-allocator interface the buffer pool programs
 // against: shard-affine allocation of variable-sized regions out of a
-// shared arena, identified by 16-byte-aligned offsets. ShardedTLSF is the
-// default implementation; a NUMA-arena allocator can slot in behind the
-// same interface (ROADMAP).
+// shared arena, identified by 16-byte-aligned offsets, with the shards
+// partitioned across the machine's NUMA nodes. ShardedTLSF is the default
+// implementation.
 type Allocator interface {
 	Alloc(n int64) (int64, error)
 	AllocAffinity(n int64, hint int) (int64, error)
@@ -21,8 +23,22 @@ type Allocator interface {
 	MaxAlloc() int64
 	Used() int64
 	FreeBytes() int64
-	NumShards() int
+	Shards() int
 	HomeShard(hint int) int
+	// HomeShardOn maps an affinity hint to a home shard local to the given
+	// NUMA node, falling back to the global mapping when the node owns no
+	// shards.
+	HomeShardOn(node, hint int) int
+	// NumNodes reports how many NUMA nodes the shards are partitioned over.
+	NumNodes() int
+	// NodeOfShard reports which node a shard's arena region belongs to.
+	NodeOfShard(i int) int
+	// NodeUsed reports the bytes handed out per node (cache-parked blocks
+	// count free, as in Used).
+	NodeUsed() []int64
+	// CrossNodeSteals counts allocations that crossed the interconnect:
+	// served by a shard on a different node than the home shard's.
+	CrossNodeSteals() int64
 	CheckConsistency() error
 }
 
@@ -57,7 +73,12 @@ type classStack struct {
 type tlsfShard struct {
 	base int64
 	size int64
+	node int // NUMA node this shard's arena region is bound to
 	tlsf *TLSF
+
+	// used mirrors the shard's slice of the allocator-wide used aggregate,
+	// so per-node residency gauges never sweep the shard locks.
+	used atomic.Int64
 
 	// cacheMu guards the front caches: the class table, every class stack,
 	// the cached-offset set (double-free guard) and the cached-bytes total.
@@ -72,24 +93,38 @@ type tlsfShard struct {
 // ShardedTLSF splits one arena into N contiguous TLSF shards (N ≈
 // GOMAXPROCS, power of two), each with its own mutex, bitmaps and free
 // lists, fronted by small per-size-class caches refilled and drained in
-// batches. Allocations carry a home-shard hint (the pool routes by locality
-// set); on exhaustion the allocator steals from the other shards in ring
-// order and, as a last resort, drains every front cache so parked blocks
-// can coalesce before reporting ErrOutOfMemory. Used and FreeBytes
-// aggregate across shards and count cache-parked blocks as free.
+// batches. The shards are partitioned across the topology's NUMA nodes in
+// contiguous runs (shard i belongs to node i·M/N) and each shard's arena
+// region is bound to its node, so a page allocated from a node-local shard
+// is node-local memory. Allocations carry a home-shard hint (the pool
+// routes by locality set, choosing a home on the creating worker's node);
+// on exhaustion the allocator steals in two tiers — every same-node shard
+// first, only then the remote nodes' shards in ring order — and, as a last
+// resort, drains every front cache so parked blocks can coalesce before
+// reporting ErrOutOfMemory. A single hot set can therefore still consume
+// the whole arena; it just pays the interconnect only once its own node is
+// genuinely full. Used and FreeBytes aggregate across shards and count
+// cache-parked blocks as free.
 type ShardedTLSF struct {
-	arena     *Arena
-	shards    []*tlsfShard
-	shardSize int64
-	total     int64         // usable (16-aligned) arena bytes across shards
-	used      atomic.Int64  // aggregate bytes handed out; cached blocks count free
-	rr        atomic.Uint32 // round-robin homes for hint-less Alloc
+	arena      *Arena
+	topo       numa.Topology
+	shards     []*tlsfShard
+	nodeShards [][]int // node -> its shard indexes (may be empty)
+	stealOrder [][]int // per home shard: every other shard, same node first
+	sameNode   []int   // per home shard: how many stealOrder entries are local
+	shardSize  int64
+	total      int64         // usable (16-aligned) arena bytes across shards
+	used       atomic.Int64  // aggregate bytes handed out; cached blocks count free
+	rr         atomic.Uint32 // round-robin homes for hint-less Alloc
+
+	crossSteals *atomic.Int64 // cross-node allocations; pool-owned when injected
 }
 
 // shardCount resolves the shard count for a 16-aligned arena size: <= 0
 // selects ~GOMAXPROCS; any value is rounded up to a power of two, capped
 // at maxShards, and reduced until every shard holds at least minShardBytes
-// (so small arenas degrade to a single shard).
+// (so small arenas degrade to a single shard). The effective count is
+// surfaced by ShardedTLSF.Shards.
 func shardCount(total int64, nshards int) int {
 	n := nshards
 	if n <= 0 {
@@ -114,44 +149,153 @@ func DefaultShardCount(arenaBytes int64) int {
 	return shardCount(arenaBytes&^(tlsfAlign-1), 0)
 }
 
-// NewShardedTLSF builds a sharded allocator over the whole arena; see
-// shardCount for how nshards is resolved.
+// NewShardedTLSF builds a sharded allocator over the whole arena under the
+// machine's discovered topology (which honours the PANGEA_FAKE_NUMA
+// override); see shardCount for how nshards is resolved.
 func NewShardedTLSF(a *Arena, nshards int) *ShardedTLSF {
+	return NewShardedTLSFNUMA(a, nshards, nil, nil)
+}
+
+// NewShardedTLSFNUMA builds a sharded allocator with an explicit topology
+// and an optional external cross-node steal counter (the pool injects its
+// PoolStats gauge; nil keeps a private one). A nil topo selects
+// numa.Discover(). nshards < 0 panics — silently "rounding" a negative
+// shard count hid configuration bugs; the pool validates before calling.
+func NewShardedTLSFNUMA(a *Arena, nshards int, topo numa.Topology, crossSteals *atomic.Int64) *ShardedTLSF {
+	if nshards < 0 {
+		panic(fmt.Sprintf("memory: negative shard count %d", nshards))
+	}
+	if topo == nil {
+		topo = numa.Discover()
+	}
+	if crossSteals == nil {
+		crossSteals = new(atomic.Int64)
+	}
 	total := a.Size() &^ (tlsfAlign - 1)
 	n := shardCount(total, nshards)
-	s := &ShardedTLSF{arena: a, shardSize: (total / int64(n)) &^ (tlsfAlign - 1), total: total}
+	s := &ShardedTLSF{
+		arena:       a,
+		topo:        topo,
+		shardSize:   (total / int64(n)) &^ (tlsfAlign - 1),
+		total:       total,
+		crossSteals: crossSteals,
+	}
+	nodes := topo.NumNodes()
+	s.nodeShards = make([][]int, nodes)
+	// Bind shard regions only where binding means something: a synthetic
+	// topology records the call, a real machine mbinds — but only
+	// mmap-backed regions, never the Go heap, whose placement belongs to
+	// the runtime (on real hardware the arena is heap-backed exactly when
+	// there is a single node, where Bind is a no-op anyway).
+	bind := !topo.Physical() || a.Mapped()
 	for i := 0; i < n; i++ {
 		base := int64(i) * s.shardSize
 		size := s.shardSize
 		if i == n-1 {
 			size = total - base
 		}
+		node := i * nodes / n
+		s.nodeShards[node] = append(s.nodeShards[node], i)
 		s.shards = append(s.shards, &tlsfShard{
 			base:      base,
 			size:      size,
+			node:      node,
 			tlsf:      NewTLSF(a.View(base, size)),
 			classes:   make(map[int64]*classStack),
 			cachedSet: make(map[int64]struct{}),
 		})
+		if bind {
+			_ = topo.Bind(a.Slice(base, size), node) // best-effort placement
+		}
 	}
+	s.buildStealOrders()
 	return s
 }
 
-// NumShards reports how many TLSF shards the arena was split into.
-func (s *ShardedTLSF) NumShards() int { return len(s.shards) }
+// buildStealOrders precomputes, for every home shard h, the order the
+// other shards are tried on exhaustion: the rest of h's node in ring order
+// (cheap, same-socket memory), then the other nodes' shards — nodes in
+// ring order from node(h)+1, each node's shards in ring order — so an
+// allocation exhausts its own node before paying the interconnect, yet a
+// full sweep still visits every shard before ErrOutOfMemory.
+func (s *ShardedTLSF) buildStealOrders() {
+	n := len(s.shards)
+	nodes := len(s.nodeShards)
+	s.stealOrder = make([][]int, n)
+	s.sameNode = make([]int, n)
+	for h := 0; h < n; h++ {
+		home := s.shards[h].node
+		order := make([]int, 0, n-1)
+		local := s.nodeShards[home]
+		pos := 0
+		for i, idx := range local {
+			if idx == h {
+				pos = i
+				break
+			}
+		}
+		for d := 1; d < len(local); d++ {
+			order = append(order, local[(pos+d)%len(local)])
+		}
+		s.sameNode[h] = len(order)
+		for dn := 1; dn < nodes; dn++ {
+			order = append(order, s.nodeShards[(home+dn)%nodes]...)
+		}
+		s.stealOrder[h] = order
+	}
+}
+
+// Shards reports the effective shard count the arena was split into (after
+// power-of-two rounding and the min-shard-size reduction).
+func (s *ShardedTLSF) Shards() int { return len(s.shards) }
+
+// NumNodes reports how many NUMA nodes the shards are partitioned over.
+func (s *ShardedTLSF) NumNodes() int { return len(s.nodeShards) }
+
+// NodeOfShard reports the node shard i's arena region belongs to.
+func (s *ShardedTLSF) NodeOfShard(i int) int { return s.shards[i].node }
+
+// NodeShards returns the shard indexes local to a node (possibly empty:
+// with more nodes than shards, some nodes own none and their traffic is
+// inherently remote).
+func (s *ShardedTLSF) NodeShards(node int) []int {
+	return append([]int(nil), s.nodeShards[node]...)
+}
+
+// CrossNodeSteals reports how many allocations were served by a shard on a
+// different node than their home shard's.
+func (s *ShardedTLSF) CrossNodeSteals() int64 { return s.crossSteals.Load() }
 
 // HomeShard maps an affinity hint (e.g. a locality-set ID) to its home
-// shard index.
+// shard index over the whole arena, ignoring the topology.
 func (s *ShardedTLSF) HomeShard(hint int) int {
 	return int(uint(hint) & uint(len(s.shards)-1))
 }
 
-func (s *ShardedTLSF) shardFor(userOff int64) *tlsfShard {
+// HomeShardOn maps an affinity hint to a home shard among the given node's
+// local shards, so a locality set created by a worker on that node keeps
+// its page memory node-local. A node with no local shards (more nodes than
+// shards) falls back to the global mapping — its traffic is remote from
+// every shard anyway, so spreading beats pinning.
+func (s *ShardedTLSF) HomeShardOn(node, hint int) int {
+	if node < 0 || node >= len(s.nodeShards) || len(s.nodeShards[node]) == 0 {
+		return s.HomeShard(hint)
+	}
+	local := s.nodeShards[node]
+	return local[int(uint(hint)%uint(len(local)))]
+}
+
+// ShardOf reports which shard the allocated region at userOff lives in.
+func (s *ShardedTLSF) ShardOf(userOff int64) int {
 	i := (userOff - headerSize) / s.shardSize
 	if i >= int64(len(s.shards)) {
 		i = int64(len(s.shards)) - 1
 	}
-	return s.shards[i]
+	return int(i)
+}
+
+func (s *ShardedTLSF) shardFor(userOff int64) *tlsfShard {
+	return s.shards[s.ShardOf(userOff)]
 }
 
 // capFor sizes a front cache so no class can park more than 1/16 of its
@@ -175,30 +319,34 @@ func (s *ShardedTLSF) Alloc(n int64) (int64, error) {
 
 // AllocAffinity reserves n bytes, preferring the home shard that the hint
 // maps to: front cache first, then the home TLSF (refilling the cache in
-// the same batch), then work-stealing from the other shards, then a full
-// cache drain so parked blocks can coalesce.
+// the same batch), then two-tier work-stealing — the home node's other
+// shards before any remote node's — then a full cache drain so parked
+// blocks can coalesce, with a final sweep over every shard (home node
+// first again) before ErrOutOfMemory.
 func (s *ShardedTLSF) AllocAffinity(n int64, hint int) (int64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("memory: invalid allocation size %d", n)
 	}
-	ns := len(s.shards)
 	need := blockNeed(n)
 	h := s.HomeShard(hint)
 
-	if off, ok := s.shards[h].popCached(need); ok {
-		s.used.Add(need)
+	home := s.shards[h]
+	if off, ok := home.popCached(need); ok {
+		s.popped(home, need)
 		return off, nil
 	}
-	if off, ok := s.shards[h].allocRefill(n, need); ok {
-		return s.granted(s.shards[h], off), nil
+	if off, ok := home.allocRefill(n, need); ok {
+		return s.granted(home, off), nil
 	}
-	for d := 1; d < ns; d++ {
-		sh := s.shards[(h+d)%ns]
+	for i, si := range s.stealOrder[h] {
+		sh := s.shards[si]
 		if off, ok := sh.popCached(need); ok {
-			s.used.Add(need)
+			s.popped(sh, need)
+			s.noteSteal(h, i)
 			return off, nil
 		}
 		if off, err := sh.tlsf.Alloc(n); err == nil {
+			s.noteSteal(h, i)
 			return s.granted(sh, sh.base+off), nil
 		}
 	}
@@ -206,20 +354,40 @@ func (s *ShardedTLSF) AllocAffinity(n int64, hint int) (int64, error) {
 	// nothing, a concurrent drain or an in-flight cache overflow may have
 	// just returned blocks to a TLSF our steal loop had already passed.
 	s.drainAll()
-	for d := 0; d < ns; d++ {
-		sh := s.shards[(h+d)%ns]
+	if off, err := home.tlsf.Alloc(n); err == nil {
+		return s.granted(home, home.base+off), nil
+	}
+	for i, si := range s.stealOrder[h] {
+		sh := s.shards[si]
 		if off, err := sh.tlsf.Alloc(n); err == nil {
+			s.noteSteal(h, i)
 			return s.granted(sh, sh.base+off), nil
 		}
 	}
 	return 0, ErrOutOfMemory
 }
 
-// granted records a fresh TLSF grant in the aggregate used counter (the
-// granted block can be slightly larger than requested when a remainder was
-// too small to split) and returns the offset unchanged.
+// noteSteal counts a successful steal from stealOrder[h][i]: entries past
+// the same-node prefix crossed the interconnect.
+func (s *ShardedTLSF) noteSteal(h, i int) {
+	if i >= s.sameNode[h] {
+		s.crossSteals.Add(1)
+	}
+}
+
+// popped books a front-cache hit in the aggregate and per-shard gauges.
+func (s *ShardedTLSF) popped(sh *tlsfShard, need int64) {
+	s.used.Add(need)
+	sh.used.Add(need)
+}
+
+// granted records a fresh TLSF grant in the aggregate and per-shard used
+// counters (the granted block can be slightly larger than requested when a
+// remainder was too small to split) and returns the offset unchanged.
 func (s *ShardedTLSF) granted(sh *tlsfShard, userOff int64) int64 {
-	s.used.Add(int64(sh.tlsf.header(userOff-sh.base) &^ 1))
+	size := int64(sh.tlsf.header(userOff-sh.base) &^ 1)
+	s.used.Add(size)
+	sh.used.Add(size)
 	return userOff
 }
 
@@ -309,6 +477,7 @@ func (s *ShardedTLSF) Free(userOff int64) {
 		panic(fmt.Sprintf("memory: double free at offset %d (block is parked in a front cache)", userOff))
 	}
 	s.used.Add(-size)
+	sh.used.Add(-size)
 	cls := sh.classes[size]
 	if cls == nil {
 		sh.cacheMu.Unlock()
@@ -383,6 +552,17 @@ func (s *ShardedTLSF) Used() int64 { return s.used.Load() }
 // shards; the eviction daemon's watermarks compare against this total.
 func (s *ShardedTLSF) FreeBytes() int64 { return s.total - s.used.Load() }
 
+// NodeUsed returns the bytes currently handed out per NUMA node, summed
+// over each node's shards (cache-parked blocks count free, as in Used).
+// Nodes with no local shards report zero.
+func (s *ShardedTLSF) NodeUsed() []int64 {
+	out := make([]int64, len(s.nodeShards))
+	for _, sh := range s.shards {
+		out[sh.node] += sh.used.Load()
+	}
+	return out
+}
+
 // CheckShard verifies shard i: front-cache accounting (every parked block
 // allocated, exact-sized, and counted once) plus the shard TLSF's physical
 // chain invariants. Safe to call concurrently with allocation traffic.
@@ -420,11 +600,20 @@ func (s *ShardedTLSF) CheckShard(i int) error {
 	return sh.tlsf.CheckConsistency()
 }
 
-// CheckConsistency checks every shard; tests call it after stress runs.
+// CheckConsistency checks every shard plus the per-shard used gauges (a
+// negative gauge means a double release). The per-shard gauges and the
+// aggregate are separate atomics updated in sequence, so their *sum* is
+// compared only by quiesced tests, never here — this runs concurrently
+// with traffic in the stress tests.
 func (s *ShardedTLSF) CheckConsistency() error {
 	for i := range s.shards {
 		if err := s.CheckShard(i); err != nil {
 			return err
+		}
+	}
+	for i, sh := range s.shards {
+		if u := sh.used.Load(); u < 0 {
+			return fmt.Errorf("memory: shard %d (node %d) has negative used %d", i, sh.node, u)
 		}
 	}
 	return nil

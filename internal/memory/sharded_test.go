@@ -10,8 +10,8 @@ import (
 
 func TestShardedBasicAllocFree(t *testing.T) {
 	s := NewShardedTLSF(NewArena(8<<20), 4)
-	if s.NumShards() != 4 {
-		t.Fatalf("NumShards = %d, want 4", s.NumShards())
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", s.Shards())
 	}
 	off, err := s.AllocAffinity(1000, 2)
 	if err != nil {
@@ -35,10 +35,10 @@ func TestShardedBasicAllocFree(t *testing.T) {
 // TestShardedTinyArenaStaysSingle: arenas too small to shard keep the
 // seed's single-TLSF layout, so tiny test pools behave exactly as before.
 func TestShardedTinyArenaStaysSingle(t *testing.T) {
-	if got := NewShardedTLSF(NewArena(64<<10), 0).NumShards(); got != 1 {
+	if got := NewShardedTLSF(NewArena(64<<10), 0).Shards(); got != 1 {
 		t.Fatalf("64 KiB arena got %d shards, want 1", got)
 	}
-	if got := NewShardedTLSF(NewArena(64<<10), 8).NumShards(); got != 1 {
+	if got := NewShardedTLSF(NewArena(64<<10), 8).Shards(); got != 1 {
 		t.Fatalf("forced shards on tiny arena got %d, want 1", got)
 	}
 }
@@ -156,12 +156,12 @@ func TestShardedMaxAllocSatisfiable(t *testing.T) {
 			max := s.MaxAlloc()
 			off, err := s.AllocAffinity(max, 0)
 			if err != nil {
-				t.Errorf("arena %d, %d shards: Alloc(MaxAlloc=%d) failed: %v", size, s.NumShards(), max, err)
+				t.Errorf("arena %d, %d shards: Alloc(MaxAlloc=%d) failed: %v", size, s.Shards(), max, err)
 				continue
 			}
 			s.Free(off)
 			if s.Used() != 0 {
-				t.Errorf("arena %d, %d shards: leaked %d bytes", size, s.NumShards(), s.Used())
+				t.Errorf("arena %d, %d shards: leaked %d bytes", size, s.Shards(), s.Used())
 			}
 		}
 	}
@@ -243,7 +243,7 @@ func TestShardedConcurrentStress(t *testing.T) {
 				return
 			default:
 			}
-			for i := 0; i < s.NumShards(); i++ {
+			for i := 0; i < s.Shards(); i++ {
 				if err := s.CheckShard(i); err != nil {
 					select {
 					case checkErr <- err:

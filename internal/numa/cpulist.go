@@ -1,0 +1,41 @@
+package numa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseCPUList parses the kernel's list format ("0-3,8,10-11") into sorted,
+// deduplicated ids. Exported so tests can feed sysfs-shaped inputs without
+// a real /sys.
+func ParseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi, ok := strings.Cut(part, "-")
+		a, err := strconv.Atoi(lo)
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("numa: bad cpu list entry %q", part)
+		}
+		b := a
+		if ok {
+			if b, err = strconv.Atoi(hi); err != nil || b < a {
+				return nil, fmt.Errorf("numa: bad cpu range %q", part)
+			}
+		}
+		for i := a; i <= b; i++ {
+			seen[i] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package numa
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// BindRecord is one Bind call observed by a FakeTopology: which node the
+// caller asked for and how many bytes the region covered, in call order.
+// Tests assert the allocator's shard→node placement against these.
+type BindRecord struct {
+	Node  int
+	Bytes int
+}
+
+// FakeTopology is a synthetic NUMA shape over ordinary heap memory: N nodes
+// owning contiguous blocks of M CPUs (cpu c belongs to node c·N/M, the way
+// real sockets own contiguous CPU ranges). Bind records instead of binding,
+// and the current CPU is injectable, so shard partitioning, node-affine
+// routing and the two-tier steal order are all testable on any machine.
+// Safe for concurrent use.
+type FakeTopology struct {
+	nodes   int
+	cpuNode []int
+
+	// currentCPU reports the CPU of the calling goroutine; the default
+	// walks the CPUs round-robin so untargeted traffic spreads over every
+	// node. Override with SetCurrentCPU for deterministic placement.
+	currentCPU atomic.Pointer[func() int]
+	rr         atomic.Uint32
+
+	mu    sync.Mutex
+	binds []BindRecord
+}
+
+// NewFake builds a synthetic topology of nodes over cpus. cpus may exceed,
+// equal, or (unlike real hardware) fall below nodes — a node with no CPUs
+// simply never appears as CurrentNode. Panics on nodes < 1 or cpus < 1:
+// a topology with nothing in it is a bug, not a configuration.
+func NewFake(nodes, cpus int) *FakeTopology {
+	if nodes < 1 || cpus < 1 {
+		panic(fmt.Sprintf("numa: fake topology with %d nodes over %d cpus", nodes, cpus))
+	}
+	t := &FakeTopology{nodes: nodes, cpuNode: make([]int, cpus)}
+	for c := range t.cpuNode {
+		t.cpuNode[c] = c * nodes / cpus
+	}
+	return t
+}
+
+func (t *FakeTopology) NumNodes() int  { return t.nodes }
+func (t *FakeTopology) Physical() bool { return false }
+
+// NumCPUs reports how many CPUs the fake machine has.
+func (t *FakeTopology) NumCPUs() int { return len(t.cpuNode) }
+
+// NodeOfCPU maps a CPU id to its node (contiguous blocks).
+func (t *FakeTopology) NodeOfCPU(cpu int) int {
+	if cpu < 0 || cpu >= len(t.cpuNode) {
+		return 0
+	}
+	return t.cpuNode[cpu]
+}
+
+// SetCurrentCPU injects the "what CPU am I on" answer; tests use it to pin
+// the creating goroutine to a chosen node. fn may be called from any
+// goroutine concurrently. nil restores the round-robin default.
+func (t *FakeTopology) SetCurrentCPU(fn func() int) {
+	if fn == nil {
+		t.currentCPU.Store(nil)
+		return
+	}
+	t.currentCPU.Store(&fn)
+}
+
+// CurrentNode reports the node of the injected (or round-robin default)
+// current CPU.
+func (t *FakeTopology) CurrentNode() int {
+	if fn := t.currentCPU.Load(); fn != nil {
+		return t.NodeOfCPU((*fn)())
+	}
+	return t.NodeOfCPU(int(t.rr.Add(1)-1) % len(t.cpuNode))
+}
+
+// Bind records the call; fake nodes own no physical memory to bind.
+func (t *FakeTopology) Bind(buf []byte, node int) error {
+	if err := validateNode(node, t.nodes); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.binds = append(t.binds, BindRecord{Node: node, Bytes: len(buf)})
+	t.mu.Unlock()
+	return nil
+}
+
+// Binds returns the Bind calls observed so far, in call order.
+func (t *FakeTopology) Binds() []BindRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]BindRecord(nil), t.binds...)
+}

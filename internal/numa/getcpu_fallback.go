@@ -1,0 +1,7 @@
+//go:build linux && !amd64 && !arm64
+
+package numa
+
+// getcpu is unavailable without the arch-specific syscall number; report
+// unknown and let CurrentNode fall back to spreading across nodes.
+func getcpu() (cpu, node int) { return -1, -1 }

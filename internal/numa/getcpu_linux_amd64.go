@@ -1,0 +1,24 @@
+//go:build linux && amd64
+
+package numa
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// sysGetcpu is the getcpu(2) syscall number on linux/amd64; the syscall
+// package does not export it.
+const sysGetcpu = 309
+
+// getcpu reports the CPU and NUMA node the calling thread is running on,
+// or (-1, -1) if the syscall fails. The vDSO makes this cheap enough for
+// a per-CreateSet placement decision.
+func getcpu() (cpu, node int) {
+	var c, n uintptr
+	if _, _, errno := syscall.RawSyscall(sysGetcpu,
+		uintptr(unsafe.Pointer(&c)), uintptr(unsafe.Pointer(&n)), 0); errno != 0 {
+		return -1, -1
+	}
+	return int(c), int(n)
+}

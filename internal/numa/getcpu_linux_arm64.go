@@ -1,0 +1,23 @@
+//go:build linux && arm64
+
+package numa
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// sysGetcpu is the getcpu(2) syscall number on linux/arm64; the syscall
+// package does not export it.
+const sysGetcpu = 168
+
+// getcpu reports the CPU and NUMA node the calling thread is running on,
+// or (-1, -1) if the syscall fails.
+func getcpu() (cpu, node int) {
+	var c, n uintptr
+	if _, _, errno := syscall.RawSyscall(sysGetcpu,
+		uintptr(unsafe.Pointer(&c)), uintptr(unsafe.Pointer(&n)), 0); errno != 0 {
+		return -1, -1
+	}
+	return int(c), int(n)
+}

@@ -1,0 +1,35 @@
+//go:build linux
+
+package numa
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mbind sets the memory policy of buf's page range to prefer the given
+// kernel node id. The region is aligned outward to page boundaries (mbind
+// rejects unaligned addresses); neighbouring shard regions may share a
+// boundary page, which at most misplaces a single page per shard. Called
+// only for mmap-backed arenas on real multi-node machines — never for Go
+// heap memory, whose placement belongs to the runtime.
+func mbind(buf []byte, node int) error {
+	if node < 0 || node >= 64 {
+		return nil // outside one nodemask word; leave placement to the kernel
+	}
+	page := uintptr(os.Getpagesize())
+	addr := uintptr(unsafe.Pointer(&buf[0]))
+	end := addr + uintptr(len(buf))
+	start := addr &^ (page - 1)
+	length := (end - start + page - 1) &^ (page - 1)
+	mask := uint64(1) << uint(node)
+	const mpolPreferred = 1
+	_, _, errno := syscall.Syscall6(syscall.SYS_MBIND,
+		start, length, mpolPreferred,
+		uintptr(unsafe.Pointer(&mask)), 64+1, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package numa
+
+// discoverOS is the non-Linux fallback: no portable NUMA discovery, so the
+// whole machine is one node and binding is a no-op.
+func discoverOS() Topology { return singleNode{} }
