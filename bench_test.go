@@ -21,6 +21,7 @@ import (
 	"pangea/internal/exp"
 	"pangea/internal/memory"
 	"pangea/internal/numa"
+	"pangea/internal/services"
 )
 
 var printOnce sync.Map
@@ -105,6 +106,10 @@ func BenchmarkS6SpillThroughput(b *testing.B) { runExperiment(b, "s6") }
 // vs interleaved shard placement over real and fake topologies.
 func BenchmarkS8Locality(b *testing.B) { runExperiment(b, "s8") }
 
+// BenchmarkS9Prefetch regenerates the async read-path experiment: cold
+// sequential and looping scans vs drive count, read-ahead on vs off.
+func BenchmarkS9Prefetch(b *testing.B) { runExperiment(b, "s9") }
+
 // BenchmarkNUMAAffinity measures the allocation path under a fake 4-node
 // topology: local placement (each goroutine homed on its own node's shards,
 // what the pool does at CreateSet) vs interleaved placement (homes walk
@@ -183,6 +188,77 @@ func BenchmarkSpillParallel(b *testing.B) {
 					if err := set.Unpin(p, true); err != nil {
 						b.Fatal(err)
 					}
+				}
+				b.StopTimer()
+				if err := bp.DropSet(set); err != nil {
+					b.Fatal(err)
+				}
+				_ = arr.RemoveAll()
+			}
+			b.SetBytes(int64(totalPages) * pageSize)
+		})
+	}
+}
+
+// BenchmarkScanPrefetch measures the asynchronous read path directly: a
+// cold sequential scan through a pool a quarter the size of the data, with
+// automatic read-ahead feeding the per-drive read queues. The ns/op is the
+// scan's wall time, so it covers hinting, speculative allocation, the
+// starved-reclaim handshake with the eviction daemon, and the coalescing
+// pin path; at drives=4 it should run several times faster than drives=1,
+// and the gate catches a regression in any stage of that pipeline.
+func BenchmarkScanPrefetch(b *testing.B) {
+	const pageSize = 64 << 10
+	const poolPages = 16
+	const totalPages = 64
+	cfg := disk.Config{ReadMBps: 400, WriteMBps: 400, SeekLatency: 50 * time.Microsecond}
+	for _, drives := range []int{1, 4} {
+		b.Run(fmt.Sprintf("drives=%d", drives), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				arr, err := disk.NewArray(b.TempDir(), drives, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bp, err := core.NewPool(core.PoolConfig{Memory: poolPages * pageSize, Array: arr})
+				if err != nil {
+					b.Fatal(err)
+				}
+				set, err := bp.CreateSet(core.SetSpec{Name: "scan", PageSize: pageSize, Durability: core.WriteThrough})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec := make([]byte, 4<<10)
+				w := services.NewSeqWriter(set)
+				for set.NumPages() < totalPages {
+					if err := w.Add(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+				// Chill: grow a dirty filler until the clean write-through
+				// data pages are all evicted, then drop it (no spill on drop).
+				filler, err := bp.CreateSet(core.SetSpec{Name: "filler", PageSize: pageSize})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for set.ResidentPages() > 0 {
+					p, err := filler.NewPage()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := filler.Unpin(p, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := bp.DropSet(filler); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := services.ScanSet(set, 1, func(int, []byte) error { return nil }); err != nil {
+					b.Fatal(err)
 				}
 				b.StopTimer()
 				if err := bp.DropSet(set); err != nil {

@@ -17,13 +17,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pangea/internal/exp"
 )
 
+// expIDs lists every registered experiment for the -exp usage string, so the
+// help text can't drift from the registry.
+func expIDs() string {
+	ids := make([]string, len(exp.Registry))
+	for i, e := range exp.Registry {
+		ids[i] = e.ID
+	}
+	return strings.Join(ids, " ")
+}
+
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment id (fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 tab2 tab3 tab4 s7c s5 s5b s6 s7) or 'all'")
+		which = flag.String("exp", "all", "experiment id ("+expIDs()+") or 'all'")
 		quick = flag.Bool("quick", false, "run the CI-sized workloads")
 		dir   = flag.String("dir", "", "scratch directory for simulated drives (default: a temp dir)")
 

@@ -269,6 +269,15 @@ func TestSetStats(t *testing.T) {
 	if st.DiskBytes == 0 {
 		t.Error("write-through set should have disk bytes")
 	}
+	// The I/O attribution gauges travel the wire unchanged.
+	set, ok := w.Pool().GetSet("s")
+	if !ok {
+		t.Fatal("worker has no set \"s\"")
+	}
+	if st.SpillWrites != set.SpillWrites() || st.LoadReads != set.LoadReads() {
+		t.Errorf("wire reports spills=%d loads=%d, pool reports %d/%d",
+			st.SpillWrites, st.LoadReads, set.SpillWrites(), set.LoadReads())
+	}
 }
 
 // TestNodeStats: a worker reports its pool's NUMA placement gauges over
@@ -307,6 +316,17 @@ func TestNodeStats(t *testing.T) {
 	}
 	if st.CrossNodeSteals != w.Pool().Stats().CrossNodeSteals.Load() {
 		t.Errorf("CrossNodeSteals = %d over the wire, pool reports %d", st.CrossNodeSteals, w.Pool().Stats().CrossNodeSteals.Load())
+	}
+	pstats := w.Pool().Stats()
+	if st.PrefetchesIssued != pstats.PrefetchesIssued.Load() ||
+		st.PrefetchHits != pstats.PrefetchHits.Load() ||
+		st.PrefetchWasted != pstats.PrefetchWasted.Load() {
+		t.Errorf("wire prefetch counters = %d/%d/%d, pool reports %d/%d/%d",
+			st.PrefetchesIssued, st.PrefetchHits, st.PrefetchWasted,
+			pstats.PrefetchesIssued.Load(), pstats.PrefetchHits.Load(), pstats.PrefetchWasted.Load())
+	}
+	if st.LoadsInFlight != 0 {
+		t.Errorf("LoadsInFlight = %d with no reads outstanding", st.LoadsInFlight)
 	}
 	// The gauges are worker-wide, so a bad key is the only failure mode.
 	bad := NewClient("", "wrong-key")

@@ -150,30 +150,39 @@ type SetStatsReq struct {
 }
 
 // SetStatsResp reports one worker's view of a set, including the
-// admission-control gauges (resident footprint vs entitlement).
+// admission-control gauges (resident footprint vs entitlement) and the
+// set's I/O attribution: dirty pages spilled by eviction and pages read
+// back from disk (demand misses plus prefetches).
 type SetStatsResp struct {
 	NumPages      int64
 	Resident      int
 	ResidentBytes int64
 	Entitlement   int64
 	DiskBytes     int64
+	SpillWrites   int64
+	LoadReads     int64
 	Err           string
 }
 
 // NodeStatsReq asks a worker for its buffer pool's NUMA placement gauges.
 type NodeStatsReq struct{ Auth string }
 
-// NodeStatsResp reports one worker's memory-placement view: how the
-// allocator shards are partitioned over the node's NUMA topology, how many
-// arena bytes are resident per node, and how often allocations had to
-// cross the interconnect. Single-node workers report one node and zero
-// steals.
+// NodeStatsResp reports one worker's memory-placement and read-path view:
+// how the allocator shards are partitioned over the node's NUMA topology,
+// how many arena bytes are resident per node, how often allocations had to
+// cross the interconnect, and the buffer pool's prefetch counters (issued /
+// hit / wasted speculative reads, plus loads currently in flight). Single-
+// node workers report one node and zero steals.
 type NodeStatsResp struct {
-	Nodes           int
-	Shards          int
-	NodeUsedBytes   []int64
-	CrossNodeSteals int64
-	Err             string
+	Nodes            int
+	Shards           int
+	NodeUsedBytes    []int64
+	CrossNodeSteals  int64
+	PrefetchesIssued int64
+	PrefetchHits     int64
+	PrefetchWasted   int64
+	LoadsInFlight    int64
+	Err              string
 }
 
 // RegisterReplicaReq records replica metadata in the manager's statistics

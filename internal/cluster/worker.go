@@ -472,6 +472,8 @@ func (w *Worker) handleSetStats(req SetStatsReq) SetStatsResp {
 		ResidentBytes: set.ResidentBytes(),
 		Entitlement:   set.Entitlement(),
 		DiskBytes:     set.DiskBytes(),
+		SpillWrites:   set.SpillWrites(),
+		LoadReads:     set.LoadReads(),
 	}
 }
 
@@ -479,10 +481,15 @@ func (w *Worker) handleNodeStats(req NodeStatsReq) NodeStatsResp {
 	if err := w.checkAuth(req.Auth); err != nil {
 		return NodeStatsResp{Err: err.Error()}
 	}
+	stats := w.pool.Stats()
 	return NodeStatsResp{
-		Nodes:           w.pool.NUMANodes(),
-		Shards:          w.pool.AllocatorShards(),
-		NodeUsedBytes:   w.pool.NodeUsedBytes(),
-		CrossNodeSteals: w.pool.Stats().CrossNodeSteals.Load(),
+		Nodes:            w.pool.NUMANodes(),
+		Shards:           w.pool.AllocatorShards(),
+		NodeUsedBytes:    w.pool.NodeUsedBytes(),
+		CrossNodeSteals:  stats.CrossNodeSteals.Load(),
+		PrefetchesIssued: stats.PrefetchesIssued.Load(),
+		PrefetchHits:     stats.PrefetchHits.Load(),
+		PrefetchWasted:   stats.PrefetchWasted.Load(),
+		LoadsInFlight:    stats.LoadsInFlight.Load(),
 	}
 }

@@ -106,7 +106,16 @@ func (e *evictor) run() {
 			if !e.shouldEvict(round) {
 				break
 			}
+			free := e.bp.alloc.FreeBytes()
 			evicted, err := e.bp.evictOnce()
+			// Pay whatever the round freed against the starved-prefetch
+			// budget, so speculation-driven passes are one-shot: the budget
+			// buys reclaim once and then decays (a concurrent allocation may
+			// eat the freed bytes first — its retried hint re-arms the
+			// budget).
+			if freed := e.bp.alloc.FreeBytes() - free; freed > 0 {
+				e.bp.consumeStarved(freed)
+			}
 			if err != nil {
 				// Wake the waiters with the error, but don't end the
 				// daemon outright: a fresh kick that arrived while the
@@ -151,16 +160,19 @@ func (e *evictor) run() {
 // allocations are blocked, their kick guarantees one round (a waiter may
 // need memory even when free bytes look healthy, e.g. under fragmentation)
 // and further rounds run up to the high watermark; with no waiter left,
-// only genuine watermark pressure (free below the background low-water
-// mark) or a set over its hard quota (admission control's self-eviction)
-// keeps the pass alive. The seed ran the first round unconditionally and
-// kept evicting until free reached HighWater even at waiters == 0, so a
-// stale kick could spill a batch — and then drain the pool to the high
+// genuine watermark pressure (free below the background low-water mark
+// plus any unpaid starved-prefetch budget — speculation that was refused
+// memory is a real consumer waiting, it just refuses to block for it) or a
+// set over its hard quota (admission control's self-eviction) keeps the
+// pass alive. The seed ran the first round unconditionally and kept
+// evicting until free reached HighWater even at waiters == 0, so a stale
+// kick could spill a batch — and then drain the pool to the high
 // watermark — with nobody waiting for a byte of it.
 func (e *evictor) shouldEvict(round int) bool {
 	bp := e.bp
 	if e.waiters.Load() > 0 {
 		return round == 0 || bp.alloc.FreeBytes() < bp.cfg.HighWater
 	}
-	return bp.alloc.FreeBytes() < bp.cfg.LowWater || bp.anyOverQuota()
+	return bp.alloc.FreeBytes() < bp.cfg.LowWater+bp.loadStarved.Load() ||
+		bp.anyOverQuota()
 }

@@ -23,7 +23,12 @@ type Page struct {
 	pin      int32
 	dirty    bool
 	evicting bool
-	lastRef  int64 // logical tick of last access
+	// prefetched marks a frame the read-ahead path loaded speculatively and
+	// no Pin has referenced yet. The first pin clears it (a prefetch hit);
+	// eviction or DropSet of a still-flagged frame counts as wasted
+	// speculation. Policies see it as PageRef.Speculative.
+	prefetched bool
+	lastRef    int64 // logical tick of last access
 }
 
 // Num returns the page's sequence number within its locality set.

@@ -29,6 +29,15 @@ type PolicyView struct {
 	// CrossNodeSteals is the pool-lifetime count of allocations that had
 	// to cross the interconnect because their home node was exhausted.
 	CrossNodeSteals int64
+	// PrefetchesIssued, PrefetchHits and PrefetchWasted are the pool's
+	// lifetime speculation counters (see PoolStats), and LoadsInFlight the
+	// number of reads outstanding, at snapshot time. A policy can read the
+	// hit/wasted ratio to judge how trustworthy speculative frames are
+	// before deciding whether to victimize them.
+	PrefetchesIssued int64
+	PrefetchHits     int64
+	PrefetchWasted   int64
+	LoadsInFlight    int64
 	// Sets holds one snapshot per live locality set.
 	Sets []*SetSnapshot
 
@@ -91,6 +100,10 @@ type PageRef struct {
 	LastRef int64
 	// Dirty reports whether the page held unpersisted modifications.
 	Dirty bool
+	// Speculative reports that the prefetcher loaded the page and nothing
+	// has referenced it yet. Always clean (a speculative frame is a copy of
+	// its on-disk image), so reclaiming one costs no write-back.
+	Speculative bool
 }
 
 // EvictablePages flattens the evictable pages of every set, the raw
@@ -154,13 +167,29 @@ func (s *SetSnapshot) NextVictim() (PageRef, bool) {
 // single page while the set is being written (evicting fresh output is
 // costly), or 10% of the evictable pages for read-only sets, in the set's
 // strategy order (§6).
+//
+// Speculative frames get attribute-driven treatment. While the set is idle
+// (no current read operation), they sort first: nobody is consuming the
+// window, so never-referenced speculation is the cheapest memory in the set
+// — clean, and with no evidence of reuse. While a read is in progress the
+// order inverts — the window is about to be consumed, so the round takes
+// already-referenced pages behind the cursor first and touches the window
+// only when nothing else is left (evicting it would just turn the same
+// reads into demand misses again).
 func (s *SetSnapshot) VictimBatch() []PageRef {
 	if len(s.Evictable) == 0 {
 		return nil
 	}
 	cands := append([]PageRef(nil), s.Evictable...)
 	mru := s.Attrs.Strategy() == EvictMRU
+	reading := s.Attrs.CurrentOp == OpRead || s.Attrs.CurrentOp == OpReadWrite
 	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Speculative != cands[j].Speculative {
+			if reading {
+				return !cands[i].Speculative
+			}
+			return cands[i].Speculative
+		}
 		if mru {
 			return cands[i].LastRef > cands[j].LastRef
 		}
@@ -184,13 +213,17 @@ func (bp *BufferPool) snapshot() *PolicyView {
 	bp.regMu.RUnlock()
 
 	view := &PolicyView{
-		Capacity:        bp.cfg.Memory,
-		Used:            bp.alloc.Used(),
-		Tick:            bp.tick.Load(),
-		NodeUsed:        bp.alloc.NodeUsed(),
-		CrossNodeSteals: bp.stats.CrossNodeSteals.Load(),
-		horizon:         bp.cfg.Horizon,
-		profile:         bp.cfg.Profile,
+		Capacity:         bp.cfg.Memory,
+		Used:             bp.alloc.Used(),
+		Tick:             bp.tick.Load(),
+		NodeUsed:         bp.alloc.NodeUsed(),
+		CrossNodeSteals:  bp.stats.CrossNodeSteals.Load(),
+		PrefetchesIssued: bp.stats.PrefetchesIssued.Load(),
+		PrefetchHits:     bp.stats.PrefetchHits.Load(),
+		PrefetchWasted:   bp.stats.PrefetchWasted.Load(),
+		LoadsInFlight:    bp.stats.LoadsInFlight.Load(),
+		horizon:          bp.cfg.Horizon,
+		profile:          bp.cfg.Profile,
 	}
 	// Entitlements: one weight sum over the listed sets (weights are
 	// immutable, so a set dropped between here and its lock below only
@@ -223,10 +256,11 @@ func (bp *BufferPool) snapshot() *PolicyView {
 			for _, p := range s.resident {
 				if p.pin == 0 && !p.evicting {
 					ss.Evictable = append(ss.Evictable, PageRef{
-						Set:     ss,
-						Num:     p.num,
-						LastRef: p.lastRef,
-						Dirty:   p.dirty,
+						Set:         ss,
+						Num:         p.num,
+						LastRef:     p.lastRef,
+						Dirty:       p.dirty,
+						Speculative: p.prefetched,
 					})
 				}
 			}

@@ -79,6 +79,16 @@ type PoolConfig struct {
 	// exercise the cross-node paths on any machine. 0 defers to Topology;
 	// negative is rejected.
 	NUMANodes int
+	// ReadAhead is the automatic prefetch window in pages for sets with a
+	// declared sequential reading pattern: a demand miss — or the first
+	// reference to a frame the prefetcher loaded — schedules asynchronous
+	// reads of the next ReadAhead pages through the per-drive read queues.
+	// 0 selects the default of DefaultReadAheadPerDrive pages per drive in
+	// the array (the window's job is to keep every drive busy — deeper
+	// speculation only displaces pages a looping reader would have re-hit);
+	// negative disables automatic read-ahead (explicit LocalitySet.Prefetch
+	// hints still work).
+	ReadAhead int
 }
 
 // PoolStats counts buffer pool activity.
@@ -98,6 +108,18 @@ type PoolStats struct {
 	// exhausted. Bumped by the allocator itself; stays zero on single-node
 	// topologies.
 	CrossNodeSteals atomic.Int64
+	// PrefetchesIssued counts speculative page reads handed to the
+	// per-drive read queues. PrefetchHits counts prefetched frames a Pin
+	// later referenced (the speculation paid off); PrefetchWasted counts
+	// prefetched frames evicted or dropped before any reference. Issued
+	// reads still in flight — or resident and not yet referenced — are in
+	// neither bucket, so Hits+Wasted ≤ Issued at any instant.
+	PrefetchesIssued atomic.Int64
+	PrefetchHits     atomic.Int64
+	PrefetchWasted   atomic.Int64
+	// LoadsInFlight is the number of page loads — demand misses and
+	// prefetches — currently queued on or executing in the read path.
+	LoadsInFlight atomic.Int64
 }
 
 // ErrNoEvictable is returned when an allocation cannot be satisfied because
@@ -131,9 +153,22 @@ type BufferPool struct {
 
 	evictor *evictor
 	spill   *spillPipeline
+	load    *loadPipeline
+
+	// readAhead is the resolved PoolConfig.ReadAhead window (0 = automatic
+	// read-ahead disabled). Immutable after NewPool.
+	readAhead int
 
 	tick atomic.Int64
 	peak atomic.Int64
+
+	// loadStarved is the speculative-reclaim budget, in bytes: how much
+	// memory prefetch hints asked for and were refused since the eviction
+	// daemon last caught up. The daemon treats it as watermark pressure and
+	// pays it down as it frees memory (see noteStarved/consumeStarved), so a
+	// sequential scan's read-ahead window keeps rolling instead of stalling
+	// the moment the pool fills.
+	loadStarved atomic.Int64
 
 	stats PoolStats
 }
@@ -193,9 +228,17 @@ func NewPool(cfg PoolConfig) (*BufferPool, error) {
 		byName:   make(map[string]*LocalitySet),
 		reserved: make(map[string]bool),
 	}
+	bp.readAhead = cfg.ReadAhead
+	if bp.readAhead == 0 {
+		bp.readAhead = DefaultReadAheadPerDrive * cfg.Array.Len()
+	}
+	if bp.readAhead < 0 {
+		bp.readAhead = 0
+	}
 	bp.alloc = memory.NewShardedTLSFNUMA(arena, cfg.AllocShards, topo, &bp.stats.CrossNodeSteals)
 	bp.evictor = newEvictor(bp)
 	bp.spill = newSpillPipeline(bp, cfg.Array)
+	bp.load = newLoadPipeline(bp, cfg.Array)
 	return bp, nil
 }
 
@@ -289,7 +332,7 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 		attrs:    Attributes{Durability: spec.Durability, Pinned: spec.Pinned},
 		file:     file,
 		resident: make(map[int64]*Page),
-		loading:  make(map[int64]bool),
+		loading:  make(map[int64]*loadOp),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	bp.regMu.Lock()
@@ -311,7 +354,9 @@ func (bp *BufferPool) GetSet(name string) (*LocalitySet, bool) {
 // DropSet releases all of a set's memory and removes its file instance. The
 // caller must have unpinned every page first. DropSet waits out any
 // in-flight eviction of the set's pages (the daemon may be spilling their
-// bytes) before recycling the memory.
+// bytes) and any in-flight load — demand or prefetch, whose reader still
+// holds a carved frame — before recycling the memory, so when it returns
+// every frame and residency charge has been released exactly once.
 func (bp *BufferPool) DropSet(s *LocalitySet) error {
 	s.mu.Lock()
 	if s.dropped {
@@ -330,16 +375,23 @@ func (bp *BufferPool) DropSet(s *LocalitySet) error {
 				evicting = true
 			}
 		}
-		if !evicting {
+		if !evicting && len(s.loading) == 0 {
 			break
 		}
 		s.cond.Wait()
 	}
 	s.dropped = true
 	offs := make([]int64, 0, len(s.resident))
+	wasted := int64(0)
 	for num, p := range s.resident {
+		if p.prefetched {
+			wasted++
+		}
 		offs = append(offs, p.off)
 		delete(s.resident, num)
+	}
+	if wasted > 0 {
+		bp.stats.PrefetchWasted.Add(wasted)
 	}
 	// Unwind the residency gauge exactly once per page released here; any
 	// in-flight eviction was waited out above, so no page can be released
@@ -555,6 +607,65 @@ func (bp *BufferPool) allocMem(s *LocalitySet, size int64) (int64, error) {
 	}
 }
 
+// tryAllocMem is allocMem's non-blocking sibling for speculative loads: one
+// affinity attempt (so prefetched frames land on the set's home NUMA node,
+// like demand frames) with the same charge-at-carve admission accounting,
+// but it never enlists the eviction daemon's waiter machinery — a prefetch
+// that cannot get memory is skipped, not paid for with synchronous reclaim
+// (the caller records the refusal as starved-budget pressure instead; see
+// noteStarved). It also refuses to take a set over its hard quota:
+// speculation counts against the tenant's entitlement, so it must fit
+// inside it. Like allocMem it kicks the daemon when free memory dips below
+// the low watermark, keeping background reclaim ahead of the window.
+func (bp *BufferPool) tryAllocMem(s *LocalitySet, size int64) (int64, error) {
+	if s.quota > 0 && s.residentBytes.Load()+size > s.quota {
+		return 0, fmt.Errorf("%w: set %q at its %d-byte quota", errSpecQuota, s.name, s.quota)
+	}
+	off, err := bp.alloc.AllocAffinity(size, s.home)
+	if err != nil {
+		return 0, err
+	}
+	bp.notePeak()
+	if res := s.residentBytes.Add(size); s.quota > 0 && res > s.quota {
+		// Lost a race against concurrent demand growth: undo rather than
+		// let speculation push the tenant over its cap.
+		s.residentBytes.Add(-size)
+		bp.alloc.Free(off)
+		return 0, fmt.Errorf("%w: set %q at its %d-byte quota", errSpecQuota, s.name, s.quota)
+	}
+	if bp.alloc.FreeBytes() < bp.cfg.LowWater {
+		bp.evictor.kick()
+	}
+	return off, nil
+}
+
+// noteStarved records size bytes of speculative demand the allocator turned
+// away and kicks the eviction daemon. The count is a one-shot reclaim
+// budget, not a raised watermark: the daemon keeps background rounds alive
+// while free memory is below LowWater plus the budget and pays the budget
+// down as it frees (consumeStarved), so a burst of starved hints buys one
+// matching burst of reclaim and the pressure then decays — a scan that has
+// ended cannot keep draining the pool. If the freed memory is consumed by
+// demand instead, the retried hints starve again and re-arm the budget.
+// Clamped at pool capacity so a pathological hint stream cannot ask for
+// more memory than exists.
+func (bp *BufferPool) noteStarved(size int64) {
+	if bp.loadStarved.Add(size) > bp.cfg.Memory {
+		bp.loadStarved.Store(bp.cfg.Memory)
+	}
+	bp.evictor.kick()
+}
+
+// consumeStarved pays freed bytes against the speculative-reclaim budget.
+func (bp *BufferPool) consumeStarved(freed int64) {
+	if bp.loadStarved.Load() <= 0 {
+		return
+	}
+	if bp.loadStarved.Add(-freed) < 0 {
+		bp.loadStarved.Store(0)
+	}
+}
+
 // evictOnce runs one round of the paging system (§6) on behalf of the
 // eviction daemon. Admission control shapes the round: if any set holds
 // more than its entitlement, the policy first sees a view restricted to
@@ -562,12 +673,14 @@ func (bp *BufferPool) allocMem(s *LocalitySet, size int64) (int64, error) {
 // before it may steal a byte from an under-quota one — with the round's
 // take from each set capped at its overage. Only when every set is within
 // its share (or the over-entitled ones have nothing evictable) does the
-// policy rank the full pool. Without allocation pressure, only hard
-// quotas justify spilling: weight entitlements bind solely when someone
-// actually needs the memory.
+// policy rank the full pool. Without allocation pressure — a blocked
+// waiter, free memory under the low watermark, or unpaid starved-prefetch
+// budget — only hard quotas justify spilling: weight entitlements bind
+// solely when someone actually needs the memory.
 func (bp *BufferPool) evictOnce() (bool, error) {
 	view := bp.snapshot()
-	pressure := bp.evictor.waiters.Load() > 0 || bp.alloc.FreeBytes() < bp.cfg.LowWater
+	pressure := bp.evictor.waiters.Load() > 0 ||
+		bp.alloc.FreeBytes() < bp.cfg.LowWater+bp.loadStarved.Load()
 	if fair := view.overEntitled(!pressure); fair != nil {
 		victims, err := bp.cfg.Policy.SelectVictims(fair)
 		if err != nil {
@@ -703,6 +816,12 @@ func (bp *BufferPool) evictVictims(victims []PageRef) (int, error) {
 			}
 			p.dirty = false
 			p.evicting = false
+			if p.prefetched {
+				// Reclaimed before any pin referenced it: the speculation
+				// was wrong (or too early).
+				p.prefetched = false
+				bp.stats.PrefetchWasted.Add(1)
+			}
 			delete(s.resident, p.num)
 			s.residentBytes.Add(-p.size)
 			offs = append(offs, p.off)

@@ -53,12 +53,16 @@ type LocalitySet struct {
 	// Pages. Each set has its own lock so Pin/Unpin/NewPage traffic on
 	// different sets never contends; cond wakes waiters for pages that are
 	// mid-load or mid-eviction.
-	mu         sync.Mutex
-	cond       *sync.Cond
-	attrs      Attributes
-	file       *pfs.PagedFile
-	resident   map[int64]*Page
-	loading    map[int64]bool // pages being read from disk right now
+	mu       sync.Mutex
+	cond     *sync.Cond
+	attrs    Attributes
+	file     *pfs.PagedFile
+	resident map[int64]*Page
+	// loading holds one loadOp per page currently being read from disk —
+	// demand misses and prefetches alike. Pins of a loading page coalesce
+	// onto the op and share its outcome (frame or error) single-flight
+	// style instead of issuing their own reads.
+	loading    map[int64]*loadOp
 	nextNum    int64
 	lastAccess int64 // AccessRecency: tick of the set's last page access
 	dropped    bool
@@ -163,8 +167,10 @@ func (s *LocalitySet) Entitlement() int64 { return s.pool.entitlement(s) }
 // daemon has written back.
 func (s *LocalitySet) SpillWrites() int64 { return s.spills.Load() }
 
-// LoadReads returns how many of this set's pages were read back from disk
-// on a pin miss — each one a page this set once had resident and lost.
+// LoadReads returns how many of this set's pages were read from disk — on
+// demand pin misses and by the prefetcher alike. For a set that never
+// declared a sequential reading pattern it counts exactly the pages the set
+// once had resident and lost.
 func (s *LocalitySet) LoadReads() int64 { return s.loads.Load() }
 
 // dropFrame frees a carved frame that never became (or no longer is) a
@@ -213,6 +219,15 @@ func (s *LocalitySet) NewPage() (*Page, error) {
 // Pin makes page num resident (loading it from the set's file instance if
 // needed), increments its reference count, and returns it. The caller must
 // Unpin it.
+//
+// A pin of a page that is already mid-load — whether by a demand miss or by
+// the prefetcher — coalesces onto the in-flight read single-flight style:
+// one disk read serves every waiter, and if the read fails every waiter gets
+// the loader's error instead of fanning out into its own retry read. On a
+// set with a declared sequential reading pattern, both a demand miss and the
+// first reference to a prefetched frame schedule read-ahead of the next
+// window (see PoolConfig.ReadAhead), overlapping the scan's disk reads with
+// its computation.
 func (s *LocalitySet) Pin(num int64) (*Page, error) {
 	bp := s.pool
 	s.mu.Lock()
@@ -230,12 +245,32 @@ func (s *LocalitySet) Pin(num int64) (*Page, error) {
 			tick := bp.nextTick()
 			p.lastRef = tick
 			s.lastAccess = tick
+			ra := 0
+			if p.prefetched {
+				// First real reference to a speculative frame: the guess paid
+				// off. Keep the window rolling ahead of the consumer.
+				p.prefetched = false
+				bp.stats.PrefetchHits.Add(1)
+				ra = s.readAheadLocked()
+			}
 			s.mu.Unlock()
+			if ra > 0 {
+				s.readAheadFrom(num, ra)
+			}
 			return p, nil
 		}
-		if s.loading[num] {
-			// Another goroutine is reading this page from disk.
-			s.cond.Wait()
+		if op := s.loading[num]; op != nil {
+			// Another goroutine is reading this page from disk; wait for its
+			// outcome instead of issuing a second read.
+			for !op.done {
+				s.cond.Wait()
+			}
+			if op.err != nil {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("core: load page %d of set %q: %w", num, s.name, op.err)
+			}
+			// Loaded (the resident branch picks it up) or canceled before a
+			// frame was carved (this pin becomes the loader).
 			continue
 		}
 		break
@@ -244,43 +279,29 @@ func (s *LocalitySet) Pin(num int64) (*Page, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("core: set %q has no page %d", s.name, num)
 	}
-	s.loading[num] = true
+	op := &loadOp{}
+	s.loading[num] = op
+	ra := s.readAheadLocked()
 	s.mu.Unlock()
 
-	finish := func() {
-		s.mu.Lock()
-		delete(s.loading, num)
-		s.cond.Broadcast()
-		s.mu.Unlock()
+	if ra > 0 {
+		// Demand miss on a sequential reader: schedule the window before
+		// paying for the synchronous read below, so the drives work on the
+		// next pages while this one loads.
+		s.readAheadFrom(num, ra)
 	}
+	bp.stats.LoadsInFlight.Add(1)
+	defer bp.stats.LoadsInFlight.Add(-1)
 	off, err := bp.allocMem(s, s.pageSize)
 	if err != nil {
-		finish()
+		s.cancelLoad(num, op)
 		return nil, fmt.Errorf("core: pin page %d of set %q: %w", num, s.name, err)
 	}
-	buf := bp.arena.Slice(off, s.pageSize)
-	if err := s.file.ReadPage(num, buf); err != nil {
-		s.dropFrame(off)
-		finish()
-		return nil, fmt.Errorf("core: load page %d of set %q: %w", num, s.name, err)
+	loc, err := s.file.Locate(num)
+	if err == nil {
+		err = s.file.ReadPageAt(loc, num, bp.arena.Slice(off, s.pageSize))
 	}
-	bp.stats.Loads.Add(1)
-	s.loads.Add(1)
-	s.mu.Lock()
-	delete(s.loading, num)
-	if s.dropped {
-		s.cond.Broadcast()
-		s.mu.Unlock()
-		s.dropFrame(off)
-		return nil, fmt.Errorf("core: set %q is dropped", s.name)
-	}
-	tick := bp.nextTick()
-	p := &Page{set: s, num: num, off: off, size: s.pageSize, pin: 1, dirty: false, lastRef: tick}
-	s.resident[num] = p
-	s.lastAccess = tick
-	s.cond.Broadcast()
-	s.mu.Unlock()
-	return p, nil
+	return s.finishLoad(num, op, off, err, false)
 }
 
 // Unpin releases one reference to the page. If dirty is true the page is

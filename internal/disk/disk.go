@@ -61,6 +61,9 @@ type Disk struct {
 	// a non-nil return fails the write without touching the file. Tests use
 	// it to inject per-drive spill failures.
 	writeFault atomic.Pointer[func() error]
+	// readFault mirrors writeFault for the read direction: the load/prefetch
+	// failure tests inject per-drive read errors without real I/O faults.
+	readFault atomic.Pointer[func() error]
 }
 
 // Open mounts a drive rooted at dir, creating the directory if needed.
@@ -136,6 +139,18 @@ func (d *Disk) SetWriteFault(f func() error) {
 	d.writeFault.Store(&f)
 }
 
+// SetReadFault installs f as the drive's read-fault hook; every read on the
+// drive first calls f and fails with its error when non-nil. A hook that
+// returns nil observes the read without failing it (tests count or delay
+// reads this way). Passing nil clears the hook.
+func (d *Disk) SetReadFault(f func() error) {
+	if f == nil {
+		d.readFault.Store(nil)
+		return
+	}
+	d.readFault.Store(&f)
+}
+
 // Stats returns a snapshot of traffic counters.
 func (d *Disk) Stats() Stats {
 	return Stats{
@@ -161,6 +176,11 @@ type File struct {
 
 // ReadAt reads len(p) bytes at offset off.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if hook := f.d.readFault.Load(); hook != nil {
+		if err := (*hook)(); err != nil {
+			return 0, err
+		}
+	}
 	f.d.throttle(len(p), f.d.cfg.ReadMBps)
 	n, err := f.f.ReadAt(p, off)
 	f.d.reads.Add(1)

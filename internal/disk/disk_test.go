@@ -179,3 +179,47 @@ func TestFileSizeAndTruncate(t *testing.T) {
 		t.Fatalf("Size after truncate = %d, want 100", n)
 	}
 }
+
+// TestReadFault covers the read-side fault hook: an error-returning hook
+// fails every ReadAt (writes are untouched), a nil-returning hook observes
+// reads without failing them, and clearing the hook restores normal reads.
+func TestReadFault(t *testing.T) {
+	d := mustDisk(t, Unthrottled())
+	f, err := d.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := []byte("payload")
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errSentinel{}
+	d.SetReadFault(func() error { return sentinel })
+	if _, err := f.ReadAt(make([]byte, len(data)), 0); err != sentinel {
+		t.Fatalf("ReadAt under fault = %v, want the injected error", err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatalf("WriteAt must not see the read fault: %v", err)
+	}
+	var observed int
+	d.SetReadFault(func() error { observed++; return nil })
+	buf := make([]byte, len(data))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("nil-returning hook must not fail reads: %v", err)
+	}
+	if observed != 1 {
+		t.Fatalf("observing hook saw %d reads, want 1", observed)
+	}
+	d.SetReadFault(nil)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt after clearing fault: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read %q, want %q", buf, data)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "injected read fault" }

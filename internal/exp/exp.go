@@ -126,6 +126,7 @@ var Registry = []struct {
 	{"s6", S6SpillThroughput, "spill throughput vs drive count: per-drive write-back pipeline"},
 	{"s7", S7Fairness, "multi-tenant fairness: per-set admission control vs an aggressive hot set"},
 	{"s8", S8Locality, "NUMA shard placement: node-affine vs interleaved allocation, real and fake topologies"},
+	{"s9", S9Prefetch, "async prefetching read path: cold sequential/looping scans vs drive count, read-ahead on/off"},
 }
 
 // Run executes one experiment by id.

@@ -167,22 +167,46 @@ func (pf *PagedFile) WritePage(pageNum int64, data []byte) error {
 	return pf.WritePageAt(pf.PlacePage(pageNum), pageNum, data)
 }
 
-// ReadPage reads the image of page pageNum into buf, which must be at least
-// the page size.
-func (pf *PagedFile) ReadPage(pageNum int64, buf []byte) error {
+// Locate returns the on-disk location of page pageNum, or an ErrNoPage
+// error when the page has no image. It is the read-side half of PlacePage:
+// look the location up once under the index lock, then read the extent with
+// ReadPageAt without it. Locations are stable — pages are never relocated —
+// so a Locate result stays valid for the life of the file instance.
+func (pf *PagedFile) Locate(pageNum int64) (PageLoc, error) {
 	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	loc, ok := pf.pages[pageNum]
 	if !ok {
-		pf.mu.Unlock()
-		return fmt.Errorf("%w: page %d of %s", ErrNoPage, pageNum, pf.name)
+		return PageLoc{}, fmt.Errorf("%w: page %d of %s", ErrNoPage, pageNum, pf.name)
 	}
-	f := pf.data[loc.Drive]
-	pf.mu.Unlock()
+	return loc, nil
+}
+
+// ReadPageAt reads the image of page pageNum from loc, which must come from
+// Locate (or PlacePage). Like WritePageAt it takes no lock: the per-drive
+// data files are immutable after Create/Open and the location is already
+// known, so concurrent readers targeting different drives never serialize on
+// the file — only on their own drive's time model. The prefetching read
+// path's per-drive queues depend on this.
+func (pf *PagedFile) ReadPageAt(loc PageLoc, pageNum int64, buf []byte) error {
 	if int64(len(buf)) < pf.pageSize {
 		return fmt.Errorf("pfs: buffer %d bytes smaller than page size %d", len(buf), pf.pageSize)
 	}
-	_, err := f.ReadAt(buf[:pf.pageSize], loc.Offset)
+	if loc.Drive < 0 || int(loc.Drive) >= len(pf.data) {
+		return fmt.Errorf("pfs: page %d location names drive %d of %d", pageNum, loc.Drive, len(pf.data))
+	}
+	_, err := pf.data[loc.Drive].ReadAt(buf[:pf.pageSize], loc.Offset)
 	return err
+}
+
+// ReadPage reads the image of page pageNum into buf, which must be at least
+// the page size.
+func (pf *PagedFile) ReadPage(pageNum int64, buf []byte) error {
+	loc, err := pf.Locate(pageNum)
+	if err != nil {
+		return err
+	}
+	return pf.ReadPageAt(loc, pageNum, buf)
 }
 
 // HasPage reports whether page pageNum has an on-disk image.

@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -316,5 +317,54 @@ func TestWritePageAtRejectsBadDrive(t *testing.T) {
 	}
 	if err := pf.WritePageAt(PageLoc{Drive: 0}, 0, make([]byte, 65)); err == nil {
 		t.Fatal("expected error for oversized data")
+	}
+}
+
+// TestLocateReadPageAt exercises the split read path: Locate under the index
+// lock, then lock-free ReadPageAt against the returned location. The
+// location must stay valid across overwrites (pages are never relocated),
+// and a missing page must fail Locate with ErrNoPage.
+func TestLocateReadPageAt(t *testing.T) {
+	a := newArray(t, 2)
+	pf, err := Create(a, "set1", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Remove()
+	for num := int64(0); num < 4; num++ {
+		if err := pf.WritePage(num, bytes.Repeat([]byte{byte(num + 1)}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for num := int64(0); num < 4; num++ {
+		loc, err := pf.Locate(num)
+		if err != nil {
+			t.Fatalf("Locate(%d): %v", num, err)
+		}
+		got := make([]byte, 1024)
+		if err := pf.ReadPageAt(loc, num, got); err != nil {
+			t.Fatalf("ReadPageAt(%d): %v", num, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(num + 1)}, 1024)) {
+			t.Fatalf("page %d round-trip mismatch via Locate/ReadPageAt", num)
+		}
+	}
+	// Locations survive an in-place overwrite.
+	loc, _ := pf.Locate(2)
+	if err := pf.WritePage(2, bytes.Repeat([]byte{0xEE}, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1024)
+	if err := pf.ReadPageAt(loc, 2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{0xEE}, 1024)) {
+		t.Fatal("stale location after overwrite: pages must never relocate")
+	}
+	if _, err := pf.Locate(99); !errors.Is(err, ErrNoPage) {
+		t.Fatalf("Locate(99) = %v, want ErrNoPage", err)
+	}
+	if err := pf.ReadPageAt(loc, 2, make([]byte, 512)); err == nil {
+		t.Fatal("ReadPageAt accepted an undersized buffer")
 	}
 }

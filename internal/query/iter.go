@@ -27,12 +27,28 @@ type Iter func(emit func(Row) error) error
 // iterators (Table 2: Scan). emit may be called from multiple goroutines;
 // downstream stateful sinks must either lock or use per-thread state via
 // ScanThreaded.
+//
+// Scanning declares a sequential reading pattern on the set, so on a cold
+// set the page iterators read ahead through the buffer pool's per-drive
+// prefetch queues: the whole operator pipeline runs over a pinned page
+// while the drives load the pages behind it, instead of stalling the
+// pipeline on one synchronous read per page. Every TPC-H operator that
+// consumes a base or intermediate set inherits this by scanning through
+// here.
 func Scan(set *core.LocalitySet, numThreads int) Iter {
 	return func(emit func(Row) error) error {
 		return services.ScanSet(set, numThreads, func(_ int, rec []byte) error {
 			return emit(rec)
 		})
 	}
+}
+
+// Warm hints that an imminent operator will read the whole set (e.g. the
+// build side of a join the scheduler has just picked), prefetching every
+// non-resident page that has an on-disk image. Best-effort: it returns the
+// number of reads issued and never blocks on memory.
+func Warm(set *core.LocalitySet) int {
+	return set.Prefetch(set.PageNums())
 }
 
 // ScanThreaded is Scan with the worker-thread index exposed, for sinks that

@@ -77,18 +77,23 @@ type PageIterator struct {
 	set  *core.LocalitySet
 	nums []int64
 	i    int
+	ra   int // read-ahead window (pages), resolved once at construction
 }
 
 // PageIterators is the sequential read service's entry point (§8): it
 // returns n concurrent iterators that partition the set's pages in stripes,
 // and stamps ReadingPattern=sequential-read, CurrentOperation=read on the
-// set.
+// set. The stamp makes the buffer pool prefetch ahead of each stripe (see
+// PoolConfig.ReadAhead): as an iterator advances it hints the next pages of
+// its own stripe, so the drives read tomorrow's pages while the worker
+// computes over today's — pin misses on a warm window become hits.
 func PageIterators(set *core.LocalitySet, n int) []*PageIterator {
 	if n < 1 {
 		n = 1
 	}
 	set.SetReading(core.SequentialRead)
 	set.SetCurrentOp(core.OpRead)
+	ra := set.ReadAhead()
 	all := set.PageNums()
 	iters := make([]*PageIterator, n)
 	for k := 0; k < n; k++ {
@@ -96,7 +101,7 @@ func PageIterators(set *core.LocalitySet, n int) []*PageIterator {
 		for i := k; i < len(all); i += n {
 			nums = append(nums, all[i])
 		}
-		iters[k] = &PageIterator{set: set, nums: nums}
+		iters[k] = &PageIterator{set: set, nums: nums, ra: ra}
 	}
 	return iters
 }
@@ -106,6 +111,19 @@ func PageIterators(set *core.LocalitySet, n int) []*PageIterator {
 func (it *PageIterator) Next() (*core.Page, error) {
 	if it.i >= len(it.nums) {
 		return nil, nil
+	}
+	if it.ra > 0 {
+		// Hint the window ahead of the cursor within this stripe, every step:
+		// the hints dedupe against resident and in-flight pages, so a warm
+		// window costs a few map lookups, while pages whose earlier hint was
+		// starved of memory get retried as the evictor frees frames up.
+		lo, hi := it.i+1, it.i+1+it.ra
+		if hi > len(it.nums) {
+			hi = len(it.nums)
+		}
+		if lo < hi {
+			it.set.Prefetch(it.nums[lo:hi])
+		}
 	}
 	p, err := it.set.Pin(it.nums[it.i])
 	if err != nil {
