@@ -9,7 +9,9 @@
 package pangea_test
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -21,6 +23,7 @@ import (
 	"pangea/internal/exp"
 	"pangea/internal/memory"
 	"pangea/internal/numa"
+	"pangea/internal/query"
 	"pangea/internal/services"
 )
 
@@ -109,6 +112,98 @@ func BenchmarkS8Locality(b *testing.B) { runExperiment(b, "s8") }
 // BenchmarkS9Prefetch regenerates the async read-path experiment: cold
 // sequential and looping scans vs drive count, read-ahead on vs off.
 func BenchmarkS9Prefetch(b *testing.B) { runExperiment(b, "s9") }
+
+// BenchmarkS10Columnar regenerates the columnar-layout experiment: the
+// selective scan-filter-agg sweep, batch kernels vs the row pipeline, warm
+// and cold.
+func BenchmarkS10Columnar(b *testing.B) { runExperiment(b, "s10") }
+
+// BenchmarkBatchScan is the batch-vs-row scan microbenchmark: one warm
+// pass of a 10%-selectivity scan-filter-sum over the same records in both
+// layouts. The row variant walks record framing and emits every row
+// through the operator chain; the columnar variant runs the vectorized
+// date-range kernel and touches only matching values. The gate watches
+// both so neither path regresses unnoticed.
+func BenchmarkBatchScan(b *testing.B) {
+	const pageSize = 64 << 10
+	const nRows = 100_000
+	widths := []int{8, 2, 8, 46} // key, date, value, payload: 64-byte rows
+	rows := make([][]byte, nRows)
+	flat := make([]byte, nRows*64)
+	for i := range rows {
+		r := flat[i*64 : (i+1)*64]
+		binary.LittleEndian.PutUint64(r[0:8], uint64(i))
+		binary.LittleEndian.PutUint16(r[8:10], uint16(i%100))
+		binary.LittleEndian.PutUint64(r[10:18], math.Float64bits(float64(i%1000)))
+		rows[i] = r
+	}
+	for _, cfg := range []struct {
+		name     string
+		columnar bool
+	}{{"layout=row", false}, {"layout=columnar", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			arr, err := disk.NewArray(b.TempDir(), 1, disk.Unthrottled())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = arr.RemoveAll() })
+			bp, err := core.NewPool(core.PoolConfig{Memory: 64 << 20, Array: arr})
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec := core.SetSpec{Name: "facts", PageSize: pageSize}
+			if cfg.columnar {
+				spec.Layout = core.LayoutColumnar
+				spec.Columns = widths
+			}
+			set, err := bp.CreateSet(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := services.WriteAll(set, rows); err != nil {
+				b.Fatal(err)
+			}
+			var matched int64
+			var sum float64
+			scan := func() error {
+				matched, sum = 0, 0
+				if cfg.columnar {
+					return query.ScanBatches(set, 1, func(_ int, bt *query.Batch) error {
+						bt.SelU16Range(1, 0, 10)
+						vals := bt.Col(2)
+						for _, r := range bt.Sel() {
+							sum += math.Float64frombits(binary.LittleEndian.Uint64(vals[int(r)*8:]))
+						}
+						matched += int64(bt.Selected())
+						return nil
+					})
+				}
+				in := query.Filter(query.Scan(set, 1), func(r query.Row) bool {
+					return binary.LittleEndian.Uint16(r[8:10]) < 10
+				})
+				return in(func(r query.Row) error {
+					sum += math.Float64frombits(binary.LittleEndian.Uint64(r[10:18]))
+					matched++
+					return nil
+				})
+			}
+			if err := scan(); err != nil { // prime the cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := scan(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if matched != nRows/10 {
+				b.Fatalf("matched %d rows, want %d", matched, nRows/10)
+			}
+			b.SetBytes(int64(nRows) * 64)
+		})
+	}
+}
 
 // BenchmarkNUMAAffinity measures the allocation path under a fake 4-node
 // topology: local placement (each goroutine homed on its own node's shards,

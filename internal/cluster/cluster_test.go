@@ -376,6 +376,45 @@ func TestCreateSetSpecPlumbsAdmissionFields(t *testing.T) {
 	}
 }
 
+// TestCreateSetSpecPlumbsLayout: the page layout and column widths travel
+// the wire, so a columnar set created through the manager is columnar on
+// every worker — and a bad schema is rejected by the worker's pool just as
+// it would be locally.
+func TestCreateSetSpecPlumbsLayout(t *testing.T) {
+	_, workers, cl := startCluster(t, 2, 1<<20)
+	if err := cl.CreateSetSpec(core.SetSpec{
+		Name: "facts", PageSize: 4096,
+		Layout: core.LayoutColumnar, Columns: []int{8, 2, 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workers {
+		s, ok := w.Pool().GetSet("facts")
+		if !ok {
+			t.Fatalf("worker %s has no set \"facts\"", w.Addr())
+		}
+		if s.Layout() != core.LayoutColumnar {
+			t.Errorf("worker %s: layout = %v, want columnar", w.Addr(), s.Layout())
+		}
+		if widths := s.ColumnWidths(); len(widths) != 3 || widths[0] != 8 || widths[1] != 2 || widths[2] != 8 {
+			t.Errorf("worker %s: column widths = %v, want [8 2 8]", w.Addr(), widths)
+		}
+	}
+	// Plain specs stay row-layout.
+	if err := cl.CreateSetSpec(core.SetSpec{Name: "plain", PageSize: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := workers[0].Pool().GetSet("plain"); !ok || s.Layout() != core.LayoutRow {
+		t.Errorf("plain set: ok=%v layout=%v, want row", ok, s.Layout())
+	}
+	// Schema validation still applies across the wire.
+	if err := cl.CreateSetSpec(core.SetSpec{
+		Name: "bad", PageSize: 64, Layout: core.LayoutColumnar, Columns: []int{64},
+	}); err == nil {
+		t.Error("columnar row wider than the page accepted over the wire")
+	}
+}
+
 func TestCircularBufferOrderAndClose(t *testing.T) {
 	cb := NewCircularBuffer(4)
 	go func() {

@@ -224,7 +224,8 @@ func (cl *Client) CreateSetSpec(spec core.SetSpec) error {
 	}
 	for _, a := range addrs {
 		msg, err := call(a, CreateSetReq{Auth: cl.auth, Name: spec.Name, PageSize: spec.PageSize,
-			Durability: uint8(spec.Durability), MemoryQuota: spec.MemoryQuota, Weight: spec.Weight})
+			Durability: uint8(spec.Durability), MemoryQuota: spec.MemoryQuota, Weight: spec.Weight,
+			Layout: uint8(spec.Layout), Columns: spec.Columns})
 		if err := respErr(msg, err); err != nil {
 			return fmt.Errorf("create %q on %s: %w", spec.Name, a, err)
 		}

@@ -62,6 +62,11 @@ type CreateSetReq struct {
 	// pre-admission behaviour.
 	MemoryQuota int64
 	Weight      float64
+	// Layout selects the page layout (core.PageLayout); Columns carries
+	// the per-column byte widths for columnar sets. Zero values keep the
+	// row layout, so old clients are unaffected.
+	Layout  uint8
+	Columns []int
 }
 
 // OKResp is the generic acknowledgement.

@@ -196,6 +196,8 @@ func (w *Worker) handleCreateSet(req CreateSetReq) OKResp {
 		Durability:  durabilityFromWire(req.Durability),
 		MemoryQuota: req.MemoryQuota,
 		Weight:      req.Weight,
+		Layout:      core.PageLayout(req.Layout),
+		Columns:     req.Columns,
 	})
 	if err != nil {
 		return OKResp{Err: err.Error()}

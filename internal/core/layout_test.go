@@ -1,0 +1,56 @@
+package core
+
+import "testing"
+
+// TestCreateSetLayoutValidation: layout and column widths are validated at
+// CreateSet, so a writer can never meet a set whose schema cannot fit its
+// pages.
+func TestCreateSetLayoutValidation(t *testing.T) {
+	bp := newTestPool(t, 1<<20, nil)
+
+	s, err := bp.CreateSet(SetSpec{Name: "col", PageSize: 4096, Layout: LayoutColumnar, Columns: []int{4, 2, 8}})
+	if err != nil {
+		t.Fatalf("valid columnar spec rejected: %v", err)
+	}
+	if s.Layout() != LayoutColumnar {
+		t.Errorf("layout = %v, want columnar", s.Layout())
+	}
+	if w := s.ColumnWidths(); len(w) != 3 || w[0] != 4 || w[1] != 2 || w[2] != 8 {
+		t.Errorf("column widths = %v, want [4 2 8]", w)
+	}
+
+	cases := []struct {
+		name string
+		spec SetSpec
+	}{
+		{"row layout with columns", SetSpec{Name: "a", PageSize: 4096, Columns: []int{4}}},
+		{"columnar without columns", SetSpec{Name: "b", PageSize: 4096, Layout: LayoutColumnar}},
+		{"zero-width column", SetSpec{Name: "c", PageSize: 4096, Layout: LayoutColumnar, Columns: []int{4, 0}}},
+		{"negative-width column", SetSpec{Name: "d", PageSize: 4096, Layout: LayoutColumnar, Columns: []int{-1}}},
+		{"row wider than page", SetSpec{Name: "e", PageSize: 64, Layout: LayoutColumnar, Columns: []int{64}}},
+		{"unknown layout", SetSpec{Name: "f", PageSize: 4096, Layout: PageLayout(9)}},
+	}
+	for _, c := range cases {
+		if _, err := bp.CreateSet(c.spec); err == nil {
+			t.Errorf("%s: CreateSet accepted %+v", c.name, c.spec)
+		}
+	}
+
+	// Row sets default to LayoutRow with no widths.
+	r, err := bp.CreateSet(SetSpec{Name: "row", PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Layout() != LayoutRow || len(r.ColumnWidths()) != 0 {
+		t.Errorf("row set: layout %v widths %v", r.Layout(), r.ColumnWidths())
+	}
+}
+
+func TestPageLayoutString(t *testing.T) {
+	if LayoutRow.String() != "row" || LayoutColumnar.String() != "columnar" {
+		t.Errorf("String() = %q/%q", LayoutRow, LayoutColumnar)
+	}
+	if PageLayout(9).String() == "" {
+		t.Error("unknown layout must still render")
+	}
+}

@@ -242,12 +242,46 @@ func NewPool(cfg PoolConfig) (*BufferPool, error) {
 	return bp, nil
 }
 
+// PageLayout selects how records are arranged inside a set's pages.
+type PageLayout uint8
+
+const (
+	// LayoutRow is the seed behaviour: records stored contiguously with
+	// length framing (services row pages). The zero value, so existing
+	// specs are untouched.
+	LayoutRow PageLayout = iota
+	// LayoutColumnar stores fixed-width records transposed into per-column
+	// segments within each page, for vectorized scans. Requires
+	// SetSpec.Columns.
+	LayoutColumnar
+)
+
+func (l PageLayout) String() string {
+	switch l {
+	case LayoutRow:
+		return "row"
+	case LayoutColumnar:
+		return "columnar"
+	default:
+		return fmt.Sprintf("layout(%d)", uint8(l))
+	}
+}
+
 // SetSpec describes a locality set to create.
 type SetSpec struct {
 	Name       string
 	PageSize   int64
 	Durability DurabilityType // WriteBack unless specified
 	Pinned     bool           // Location attribute
+
+	// Layout selects the page layout; LayoutRow (zero) keeps the seed's
+	// record-framed pages. Columnar sets additionally need Columns.
+	Layout PageLayout
+	// Columns gives the fixed byte width of each column for LayoutColumnar
+	// sets (the record size is their sum). Must be empty for LayoutRow;
+	// column names and offsets live in the services schema descriptor, the
+	// pool only needs the widths to lay segments out.
+	Columns []int
 
 	// MemoryQuota caps the set's resident bytes (admission control): growth
 	// past the quota triggers self-eviction — the daemon reclaims the
@@ -290,6 +324,31 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 	if spec.MemoryQuota > bp.cfg.Memory {
 		return nil, fmt.Errorf("core: set %q: quota %d exceeds the %d-byte pool", spec.Name, spec.MemoryQuota, bp.cfg.Memory)
 	}
+	switch spec.Layout {
+	case LayoutRow:
+		if len(spec.Columns) > 0 {
+			return nil, fmt.Errorf("core: set %q: column widths given for a row-layout set", spec.Name)
+		}
+	case LayoutColumnar:
+		if len(spec.Columns) == 0 {
+			return nil, fmt.Errorf("core: set %q: columnar layout needs column widths", spec.Name)
+		}
+		rowSize := int64(0)
+		for i, w := range spec.Columns {
+			if w <= 0 {
+				return nil, fmt.Errorf("core: set %q: column %d has width %d", spec.Name, i, w)
+			}
+			rowSize += int64(w)
+		}
+		// The columnar page header is 16 bytes plus one u32 width per
+		// column (see services); at least one row must fit under it.
+		if hdr := int64(16 + 4*len(spec.Columns)); hdr+rowSize > spec.PageSize {
+			return nil, fmt.Errorf("core: set %q: page size %d below columnar header %d + one %d-byte row",
+				spec.Name, spec.PageSize, hdr, rowSize)
+		}
+	default:
+		return nil, fmt.Errorf("core: set %q: unknown page layout %d", spec.Name, spec.Layout)
+	}
 	bp.regMu.Lock()
 	if _, dup := bp.byName[spec.Name]; dup || bp.reserved[spec.Name] {
 		bp.regMu.Unlock()
@@ -325,6 +384,8 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 		id:       id,
 		name:     spec.Name,
 		pageSize: spec.PageSize,
+		layout:   spec.Layout,
+		columns:  append([]int(nil), spec.Columns...),
 		home:     home,
 		homeNode: bp.alloc.NodeOfShard(home),
 		quota:    spec.MemoryQuota,

@@ -22,10 +22,12 @@ type LocalitySet struct {
 	id       SetID
 	name     string
 	pageSize int64
-	home     int     // home allocator shard; page memory prefers this shard
-	homeNode int     // NUMA node of the home shard (the creating worker's)
-	quota    int64   // admission control: resident-byte cap, 0 = unlimited
-	weight   float64 // fair-share weight, 0 = unweighted
+	layout   PageLayout // page layout; immutable after CreateSet
+	columns  []int      // columnar column widths; immutable after CreateSet
+	home     int        // home allocator shard; page memory prefers this shard
+	homeNode int        // NUMA node of the home shard (the creating worker's)
+	quota    int64      // admission control: resident-byte cap, 0 = unlimited
+	weight   float64    // fair-share weight, 0 = unweighted
 
 	// residentBytes is the set's arena footprint. It is mutated exactly
 	// once per frame transition — charged the moment allocMem carves a
@@ -76,6 +78,14 @@ func (s *LocalitySet) Name() string { return s.name }
 
 // PageSize returns the fixed page size shared by all pages of the set.
 func (s *LocalitySet) PageSize() int64 { return s.pageSize }
+
+// Layout returns the set's page layout (LayoutRow unless the spec asked
+// for columnar pages).
+func (s *LocalitySet) Layout() PageLayout { return s.layout }
+
+// ColumnWidths returns the fixed byte width of each column for columnar
+// sets (nil for row layout). The slice is shared and must not be mutated.
+func (s *LocalitySet) ColumnWidths() []int { return s.columns }
 
 // HomeNode returns the NUMA node of the set's home allocator shard — the
 // node of the worker that created the set, when that node owns shards. The

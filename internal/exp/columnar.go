@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pangea/internal/core"
+	"pangea/internal/disk"
+	"pangea/internal/query"
+	"pangea/internal/services"
+)
+
+// s10 schema: u64 key, u16 date, f64 value, 78-byte payload — a 96-byte
+// fact row whose date column drives the selectivity sweep (date = key %
+// 100, so a cutoff of c selects exactly c% of the rows). The payload makes
+// the row realistically wide: the row pipeline drags all 96 bytes of every
+// row through the cache, while the selection kernel reads only the 2-byte
+// date lane and the matching 8-byte values.
+var s10Widths = []int{8, 2, 8, 78}
+
+const (
+	s10ColDate = 1
+	s10ColVal  = 2
+	s10RowSize = 96
+	s10Threads = 4
+)
+
+// S10Columnar measures the columnar page layout against the row layout on
+// the workload it exists for: a selective scan-filter-aggregate, expressed
+// in each mode's native pipeline. The row mode runs the row operators a
+// query actually composes — Scan into Filter into an aggregation sink, one
+// emit per row whether it matches or not. The columnar mode runs the batch
+// pipeline: a vectorized selection kernel over the date column, then only
+// the matching lanes of the value column are touched. The warm sweep holds
+// the data resident and varies selectivity, isolating that decode gap; the
+// cold rows stream the same scan through a pool smaller than the data at 1
+// and 4 calibrated drives, showing the batch path rides the same per-drive
+// prefetch pipeline as the row path.
+func S10Columnar(o Options) (*Table, error) {
+	nRows := o.pick(40_000, 600_000)
+	const pageSize = 128 << 10
+	t := &Table{
+		ID: "s10",
+		Title: fmt.Sprintf("columnar scan-filter-agg vs row pipeline (%d rows, %d KiB pages)",
+			nRows, pageSize>>10),
+		Header: []string{"mode", "sel %", "layout", "drives", "scan ms", "matched", "speedup"},
+	}
+	rows := s10Rows(nRows)
+
+	// Warm sweep: data resident, unthrottled single drive, pure decode CPU.
+	// Each layout is loaded once and swept across every selectivity.
+	warmRow, err := s10Sweep(o, rows, pageSize, false, 1, true, []uint16{1, 10, 50, 100})
+	if err != nil {
+		return nil, err
+	}
+	warmCol, err := s10Sweep(o, rows, pageSize, true, 1, true, []uint16{1, 10, 50, 100})
+	if err != nil {
+		return nil, err
+	}
+	for i, sel := range []uint16{1, 10, 50, 100} {
+		r, c := warmRow[i], warmCol[i]
+		t.AddRow("warm", fmt.Sprintf("%d", sel), "row", "1", ms(r.elapsed), fmt.Sprintf("%d", r.matched), "-")
+		t.AddRow("warm", fmt.Sprintf("%d", sel), "columnar", "1", ms(c.elapsed), fmt.Sprintf("%d", c.matched),
+			fmt.Sprintf("%.2fx", r.elapsed.Seconds()/c.elapsed.Seconds()))
+	}
+	// Cold rows: pool a fraction of the data, calibrated drives, 10% cutoff.
+	for _, drives := range []int{1, 4} {
+		var rowElapsed time.Duration
+		for _, columnar := range []bool{false, true} {
+			rs, err := s10Sweep(o, rows, pageSize, columnar, drives, false, []uint16{10})
+			if err != nil {
+				return nil, err
+			}
+			r := rs[0]
+			speedup := "-"
+			if !columnar {
+				rowElapsed = r.elapsed
+			} else if r.elapsed > 0 {
+				speedup = fmt.Sprintf("%.2fx", rowElapsed.Seconds()/r.elapsed.Seconds())
+			}
+			t.AddRow("cold", "10", s10Layout(columnar), fmt.Sprintf("%d", drives),
+				ms(r.elapsed), fmt.Sprintf("%d", r.matched), speedup)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"row mode runs the row operator pipeline (Scan -> Filter -> agg sink); columnar runs the batch kernels",
+		"warm: data resident, timing is decode CPU only — the batch kernels' win grows as selectivity drops",
+		"cold: data streamed through a pool 1/4 its size over calibrated drives; both layouts are I/O-bound and scale with drives",
+		"matched counts and value sums are cross-checked between layouts every run")
+	return t, nil
+}
+
+func s10Layout(columnar bool) string {
+	if columnar {
+		return "columnar"
+	}
+	return "row"
+}
+
+// s10Rows generates the synthetic fact rows once; both layouts load the
+// same records.
+func s10Rows(n int) [][]byte {
+	rows := make([][]byte, n)
+	flat := make([]byte, n*s10RowSize)
+	for i := 0; i < n; i++ {
+		r := flat[i*s10RowSize : (i+1)*s10RowSize]
+		binary.LittleEndian.PutUint64(r[0:8], uint64(i))
+		binary.LittleEndian.PutUint16(r[8:10], uint16(i%100))
+		binary.LittleEndian.PutUint64(r[10:18], math.Float64bits(float64(i%1000)))
+		for j := 18; j < s10RowSize; j++ {
+			r[j] = byte(i + j)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+type s10Result struct {
+	elapsed time.Duration
+	matched int64
+	sum     float64
+}
+
+// s10Sweep loads the rows into a set of the requested layout once, then
+// times the scan-filter-agg at each cutoff. Warm sweeps prime the cache and
+// time several passes per cutoff; cold sweeps chill the set before each
+// timed streaming pass.
+func s10Sweep(o Options, rows [][]byte, pageSize int64, columnar bool, drives int, warm bool, cutoffs []uint16) ([]s10Result, error) {
+	tag := fmt.Sprintf("s10-%s-%s-%dd", s10Layout(columnar), map[bool]string{true: "warm", false: "cold"}[warm], drives)
+	cfg := diskConfig()
+	if warm {
+		cfg = disk.Unthrottled()
+	}
+	arr, err := disk.NewArray(filepath.Join(o.Dir, tag), drives, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = arr.RemoveAll() }()
+	dataBytes := int64(len(rows)) * (s10RowSize + 8)
+	mem := dataBytes * 2 // warm: everything resident
+	if !warm {
+		mem = dataBytes / 4
+	}
+	if min := 8 * pageSize; mem < min {
+		mem = min
+	}
+	bp, err := core.NewPool(core.PoolConfig{Memory: mem, Array: arr})
+	if err != nil {
+		return nil, err
+	}
+	spec := core.SetSpec{Name: "facts", PageSize: pageSize, Durability: core.WriteThrough}
+	if columnar {
+		spec.Layout = core.LayoutColumnar
+		spec.Columns = s10Widths
+	}
+	set, err := bp.CreateSet(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := services.WriteAll(set, rows); err != nil {
+		return nil, err
+	}
+
+	out := make([]s10Result, 0, len(cutoffs))
+	for _, cutoff := range cutoffs {
+		scan := func() (s10Result, error) { return s10Scan(set, cutoff, columnar) }
+		loops := 1
+		if warm {
+			// Prime, then time a batch of passes for a stable number.
+			if _, err := scan(); err != nil {
+				return nil, err
+			}
+			loops = o.pick(5, 9)
+		} else if err := s9Chill(bp, set, pageSize); err != nil {
+			return nil, err
+		}
+		// Best of the timed passes: the min is the standard robust
+		// estimator under scheduler noise, and it is applied to both
+		// layouts alike.
+		var res s10Result
+		best := time.Duration(-1)
+		for l := 0; l < loops; l++ {
+			start := time.Now()
+			r, err := scan()
+			if err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); best < 0 || d < best {
+				best = d
+			}
+			res = r
+		}
+		res.elapsed = best
+
+		// Cross-check against the truth the generator implies.
+		var wantMatched int64
+		var wantSum float64
+		for i := range rows {
+			if uint16(i%100) < cutoff {
+				wantMatched++
+				wantSum += float64(i % 1000)
+			}
+		}
+		if res.matched != wantMatched || math.Abs(res.sum-wantSum) > 1e-6*math.Abs(wantSum)+1e-9 {
+			return nil, fmt.Errorf("s10 %s c%d: matched %d sum %.3f, want %d / %.3f",
+				tag, cutoff, res.matched, res.sum, wantMatched, wantSum)
+		}
+		out = append(out, res)
+	}
+	return out, bp.DropSet(set)
+}
+
+// s10Scan runs one scan-filter-sum pass over the set with either pipeline.
+// The row mode is the operator composition a query uses (Scan into Filter
+// into a sink); the sink's lock is taken only for rows that survive the
+// filter, so the row mode's per-unmatched-row cost is purely the pipeline's.
+func s10Scan(set *core.LocalitySet, cutoff uint16, columnar bool) (s10Result, error) {
+	var mu sync.Mutex
+	var res s10Result
+	var err error
+	if columnar {
+		err = query.ScanBatches(set, s10Threads, func(_ int, b *query.Batch) error {
+			b.SelU16Range(s10ColDate, 0, cutoff)
+			vals := b.Col(s10ColVal)
+			var s float64
+			for _, r := range b.Sel() {
+				s += math.Float64frombits(binary.LittleEndian.Uint64(vals[int(r)*8:]))
+			}
+			mu.Lock()
+			res.sum += s
+			res.matched += int64(b.Selected())
+			mu.Unlock()
+			return nil
+		})
+	} else {
+		matching := query.Filter(query.Scan(set, s10Threads), func(r query.Row) bool {
+			return binary.LittleEndian.Uint16(r[8:10]) < cutoff
+		})
+		err = matching(func(r query.Row) error {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(r[10:18]))
+			mu.Lock()
+			res.sum += v
+			res.matched++
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err != nil {
+		return s10Result{}, err
+	}
+	return res, nil
+}

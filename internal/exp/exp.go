@@ -127,6 +127,7 @@ var Registry = []struct {
 	{"s7", S7Fairness, "multi-tenant fairness: per-set admission control vs an aggressive hot set"},
 	{"s8", S8Locality, "NUMA shard placement: node-affine vs interleaved allocation, real and fake topologies"},
 	{"s9", S9Prefetch, "async prefetching read path: cold sequential/looping scans vs drive count, read-ahead on/off"},
+	{"s10", S10Columnar, "columnar page layout: selective scan-filter-agg, batch kernels vs row decode, warm and cold"},
 }
 
 // Run executes one experiment by id.

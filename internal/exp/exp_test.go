@@ -307,6 +307,41 @@ func TestS8LocalityShape(t *testing.T) {
 	}
 }
 
+// TestS10ColumnarBeatsRowWhenSelective: the warm sweep's batch pipeline
+// must beat the row decode at the selective end — that is the layout's
+// reason to exist. The margin is asserted loosely (quick sizes on shared CI
+// runners are noisy); the committed full-size bench output records the
+// real factor.
+func TestS10ColumnarBeatsRowWhenSelective(t *testing.T) {
+	tab, err := S10Columnar(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ mode, sel, layout, drives string }
+	byKey := map[key]float64{}
+	for i, row := range tab.Rows {
+		byKey[key{row[0], row[1], row[2], row[3]}] = cell(t, tab, i, 4)
+	}
+	for _, sel := range []string{"1", "10"} {
+		rowMS := byKey[key{"warm", sel, "row", "1"}]
+		colMS := byKey[key{"warm", sel, "columnar", "1"}]
+		if rowMS == 0 || colMS == 0 {
+			t.Fatalf("missing warm rows at sel=%s%%: %v", sel, tab.Rows)
+		}
+		if colMS >= rowMS {
+			t.Errorf("warm sel=%s%%: columnar %.2fms not faster than row %.2fms", sel, colMS, rowMS)
+		}
+	}
+	// Cold rows exist for both drive counts and both layouts.
+	for _, d := range []string{"1", "4"} {
+		for _, l := range []string{"row", "columnar"} {
+			if _, ok := byKey[key{"cold", "10", l, d}]; !ok {
+				t.Errorf("missing cold row layout=%s drives=%s", l, d)
+			}
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := Run("nope", Options{}); err == nil {
 		t.Error("unknown experiment must error")

@@ -2,7 +2,6 @@ package query
 
 import (
 	"fmt"
-	"sync"
 
 	"pangea/internal/core"
 	"pangea/internal/services"
@@ -25,32 +24,61 @@ type AggSpec struct {
 }
 
 // LocalAggregate runs the local aggregation stage (Table 2: "Aggregate:
-// local stage") on one node: rows stream into a virtual hash buffer whose
+// local stage") on one node: rows stream into virtual hash buffers whose
 // pages live in the given locality set, spilling partials under memory
 // pressure. numRoot is the root partition count of the hash service.
+//
+// Each scan thread upserts into its own hash buffer with its own
+// accumulator scratch — no per-row lock, no shared val buffer. The buffers
+// all page into the same set, and VirtualHashBuffer.Walk streams the whole
+// set's partials regardless of which buffer wrote them, so the returned
+// handle covers every thread's work and FinalAggregate is unchanged.
+//
+// Every buffer keeps up to numRoot pages pinned (one active partition page
+// per root), so the state count is capped at what half the set's memory
+// entitlement can pin; extra scan threads share states through the free
+// list rather than exhausting the pool.
 func LocalAggregate(in Iter, set *core.LocalitySet, numRoot int, spec AggSpec) (*services.VirtualHashBuffer, error) {
-	h, err := services.NewVirtualHashBuffer(set, numRoot, spec.ValSize, spec.Combine)
-	if err != nil {
-		return nil, err
+	type aggState struct {
+		h   *services.VirtualHashBuffer
+		val []byte
 	}
-	val := make([]byte, spec.ValSize)
-	var mu sync.Mutex
-	err = in(func(r Row) error {
-		mu.Lock()
-		defer mu.Unlock()
-		for i := range val {
-			val[i] = 0
+	maxStates := 1
+	if perState := int64(numRoot) * set.PageSize(); perState > 0 {
+		if n := set.Entitlement() / 2 / perState; n > 1 {
+			maxStates = int(n)
 		}
-		spec.Init(r, val)
-		return h.Upsert(spec.Key(r), val)
+	}
+	parts, err := newBoundedPartials[aggState](maxStates, func(s *aggState) error {
+		h, err := services.NewVirtualHashBuffer(set, numRoot, spec.ValSize, spec.Combine)
+		if err != nil {
+			return err
+		}
+		s.h, s.val = h, make([]byte, spec.ValSize)
+		return nil
 	})
-	if cerr := h.Close(); err == nil {
-		err = cerr
+	if err != nil {
+		return nil, err
+	}
+	err = in(func(r Row) error {
+		return parts.borrow(func(s *aggState) error {
+			for i := range s.val {
+				s.val[i] = 0
+			}
+			spec.Init(r, s.val)
+			return s.h.Upsert(spec.Key(r), s.val)
+		})
+	})
+	states := parts.states()
+	for _, s := range states {
+		if cerr := s.h.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	return h, nil
+	return states[0].h, nil
 }
 
 // FinalAggregate merges the partial results of per-node local stages into

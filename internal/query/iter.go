@@ -11,6 +11,7 @@ package query
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pangea/internal/core"
 	"pangea/internal/services"
@@ -94,29 +95,125 @@ func Map(in Iter, fn func(Row) (Row, error)) Iter {
 
 // Count drains the stream and returns the row count.
 func Count(in Iter) (int64, error) {
-	var n int64
-	var mu sync.Mutex
+	var n atomic.Int64
 	err := in(func(Row) error {
-		mu.Lock()
-		n++
-		mu.Unlock()
+		n.Add(1)
 		return nil
 	})
-	return n, err
+	return n.Load(), err
+}
+
+// partials hands each emitting goroutine its own accumulator state and
+// remembers every state it ever created, so multi-threaded sinks build
+// per-thread partials and merge them once at the end, instead of
+// serializing every row behind one sink mutex. Iter's emit carries no
+// thread index (and sinks must keep working for plain single-goroutine
+// Iters), so states live on a free list: an emit borrows one for the
+// duration of a single row, which under a multi-threaded Scan settles into
+// one state per worker without any state ever being shared between two
+// rows at once. The borrow lock only pops and pushes a pointer — the
+// per-row work itself runs unserialized.
+//
+// max > 0 caps how many states exist; borrowers beyond the cap wait for a
+// free one. Sinks whose states pin buffer-pool pages use the cap to keep
+// the combined pinned footprint inside the set's memory entitlement.
+type partials[S any] struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	free []*S
+	all  []*S
+	max  int // >0 caps live states; 0 = one per concurrent borrower
+	init func(*S) error
+	err  error // first state-constructor failure; sticky
+}
+
+func newPartials[S any](init func(*S) error) (*partials[S], error) {
+	return newBoundedPartials(0, init)
+}
+
+func newBoundedPartials[S any](max int, init func(*S) error) (*partials[S], error) {
+	p := &partials[S]{max: max, init: init}
+	p.cond.L = &p.mu
+	// Create the first state eagerly so constructor errors surface before
+	// the scan starts instead of on some mid-stream row.
+	s, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	p.put(s)
+	return p, nil
+}
+
+func (p *partials[S]) get() (*S, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if n := len(p.free); n > 0 {
+			s := p.free[n-1]
+			p.free = p.free[:n-1]
+			return s, nil
+		}
+		if p.max <= 0 || len(p.all) < p.max {
+			s := new(S)
+			if p.init != nil {
+				if err := p.init(s); err != nil {
+					p.err = err
+					p.cond.Broadcast()
+					return nil, err
+				}
+			}
+			p.all = append(p.all, s)
+			return s, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *partials[S]) put(s *S) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// borrow runs fn with a state no other goroutine is using.
+func (p *partials[S]) borrow(fn func(*S) error) error {
+	s, err := p.get()
+	if err != nil {
+		return err
+	}
+	err = fn(s)
+	p.put(s)
+	return err
+}
+
+// states returns every state ever handed out, for the final merge.
+func (p *partials[S]) states() []*S {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.all
 }
 
 // Collect drains the stream into a slice, copying each row (rows emitted by
-// Scan alias pinned pages and are invalid after the scan).
+// Scan alias pinned pages and are invalid after the scan). Each scan thread
+// appends to its own partial slice; the partials are concatenated at the
+// end, so row order across threads is unspecified (as it already was).
 func Collect(in Iter) ([]Row, error) {
-	var rows []Row
-	var mu sync.Mutex
+	type bucket struct{ rows []Row }
+	parts, _ := newPartials[bucket](nil)
 	err := in(func(r Row) error {
-		c := append(Row(nil), r...)
-		mu.Lock()
-		rows = append(rows, c)
-		mu.Unlock()
-		return nil
+		return parts.borrow(func(b *bucket) error {
+			b.rows = append(b.rows, append(Row(nil), r...))
+			return nil
+		})
 	})
+	var rows []Row
+	for _, b := range parts.states() {
+		rows = append(rows, b.rows...)
+	}
 	return rows, err
 }
 

@@ -180,8 +180,7 @@ func (e *Executor) DropEverywhere(name string) {
 // local hash aggregation per node over in(node), then a final merge of the
 // per-node partials at the coordinator.
 func (e *Executor) DistributedAggregate(tag string, in func(node int) Iter, spec AggSpec) (map[string][]byte, error) {
-	partials := make([]map[string][]byte, len(e.Workers))
-	err := e.Parallel(func(node int, w *cluster.Worker) error {
+	return e.DistributedMerge(func(node int, w *cluster.Worker) (map[string][]byte, error) {
 		setName := fmt.Sprintf("%s-agg-%d", tag, node)
 		// The hash service pins one active page per root partition; keep
 		// their combined footprint a small fraction of the pool so the
@@ -195,18 +194,34 @@ func (e *Executor) DistributedAggregate(tag string, in func(node int) Iter, spec
 		}
 		set, err := w.Pool().CreateSet(core.SetSpec{Name: setName, PageSize: pageSize})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		h, err := LocalAggregate(in(node), set, 4, spec)
 		if err != nil {
-			return err
+			_ = w.Pool().DropSet(set)
+			return nil, err
 		}
 		res, err := FinalAggregate([]*services.VirtualHashBuffer{h}, spec)
+		if derr := w.Pool().DropSet(set); err == nil {
+			err = derr
+		}
+		return res, err
+	}, spec.Combine)
+}
+
+// DistributedMerge runs one partial-result producer per node in parallel
+// and merges the per-node maps with combine — the cross-node final stage
+// shared by the row aggregation above and the columnar batch pipelines
+// (query.AggBatches per node, merged here).
+func (e *Executor) DistributedMerge(run func(node int, w *cluster.Worker) (map[string][]byte, error), combine func(dst, src []byte)) (map[string][]byte, error) {
+	partials := make([]map[string][]byte, len(e.Workers))
+	err := e.Parallel(func(node int, w *cluster.Worker) error {
+		m, err := run(node, w)
 		if err != nil {
 			return err
 		}
-		partials[node] = res
-		return w.Pool().DropSet(set)
+		partials[node] = m
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -215,7 +230,7 @@ func (e *Executor) DistributedAggregate(tag string, in func(node int) Iter, spec
 	for _, p := range partials {
 		for k, v := range p {
 			if old, ok := out[k]; ok {
-				spec.Combine(old, v)
+				combine(old, v)
 			} else {
 				out[k] = append([]byte(nil), v...)
 			}

@@ -109,7 +109,12 @@ func AppendServiceRecord(buf []byte, off, end int, rec []byte) (next int, ok boo
 }
 
 // WalkPage iterates every record in every region of a service page buffer.
+// Columnar pages (recognized by their magic) are walked row-at-a-time
+// through the materializing compatibility path.
 func WalkPage(buf []byte, fn func(rec []byte) error) error {
+	if IsColumnarPage(buf) {
+		return walkColumnarPage(buf, fn)
+	}
 	rs := pageRegionSize(buf)
 	if rs <= 0 {
 		return fmt.Errorf("services: page has invalid region size %d", rs)

@@ -20,17 +20,30 @@ type SeqWriter struct {
 	off  int
 	end  int
 	n    int64 // records written
+
+	// cw handles sets declared LayoutColumnar: Add transposes into column
+	// segments instead of framing records, so every row-API producer
+	// (WriteAll, the cluster data proxy, query.Materialize) writes
+	// whichever layout the set was created with.
+	cw *ColumnarWriter
 }
 
 // NewSeqWriter attaches a sequential allocator to the set.
 func NewSeqWriter(set *core.LocalitySet) *SeqWriter {
 	set.SetWriting(core.SequentialWrite)
 	set.SetCurrentOp(core.OpWrite)
-	return &SeqWriter{set: set}
+	w := &SeqWriter{set: set}
+	if set.Layout() == core.LayoutColumnar {
+		w.cw = newColumnarWriter(set)
+	}
+	return w
 }
 
 // Add appends one record to the set.
 func (w *SeqWriter) Add(rec []byte) error {
+	if w.cw != nil {
+		return w.cw.Add(rec)
+	}
 	if int64(len(rec)+recHeaderSize+pageHeaderSize) > w.set.PageSize() {
 		return fmt.Errorf("services: record of %d bytes exceeds page size %d", len(rec), w.set.PageSize())
 	}
@@ -57,10 +70,18 @@ func (w *SeqWriter) Add(rec []byte) error {
 }
 
 // Count returns the number of records written so far.
-func (w *SeqWriter) Count() int64 { return w.n }
+func (w *SeqWriter) Count() int64 {
+	if w.cw != nil {
+		return w.cw.Count()
+	}
+	return w.n
+}
 
 // Close releases the current page and clears the set's current operation.
 func (w *SeqWriter) Close() error {
+	if w.cw != nil {
+		return w.cw.Close()
+	}
 	var err error
 	if w.page != nil {
 		err = w.set.Unpin(w.page, true)

@@ -6,6 +6,7 @@ import (
 	"pangea/internal/core"
 	"pangea/internal/placement"
 	"pangea/internal/query"
+	"pangea/internal/services"
 )
 
 // Table names as created in the deployment.
@@ -25,8 +26,22 @@ const (
 
 // Load creates the six TPC-H source sets across the deployment and
 // dispatches the generated rows randomly — the paper's "randomly dispatched
-// set".
+// set". The lineitem layout defaults to the PANGEA_COLUMNAR toggle; use
+// LoadLayout to pick explicitly.
 func Load(e *query.Executor, d *Data, pageSize int64) error {
+	layout := core.LayoutRow
+	if ColumnarDefault() {
+		layout = core.LayoutColumnar
+	}
+	return LoadLayout(e, d, pageSize, layout)
+}
+
+// LoadLayout is Load with the scan-heavy lineitem table's page layout
+// chosen by the caller. With LayoutColumnar the set is created with the
+// lineitem column widths and the workers' sequential writers transpose the
+// dispatched records into columnar pages; the other five tables stay
+// row-layout (they feed joins and point lookups through the row API).
+func LoadLayout(e *query.Executor, d *Data, pageSize int64, layout core.PageLayout) error {
 	tables := map[string][][]byte{
 		"lineitem": d.Lineitem,
 		"orders":   d.Orders,
@@ -36,7 +51,12 @@ func Load(e *query.Executor, d *Data, pageSize int64) error {
 		"partsupp": d.PartSupp,
 	}
 	for _, name := range TableNames {
-		if err := e.Client.CreateSet(name, pageSize, uint8(core.WriteBack)); err != nil {
+		spec := core.SetSpec{Name: name, PageSize: pageSize, Durability: core.WriteBack}
+		if name == "lineitem" && layout == core.LayoutColumnar {
+			spec.Layout = core.LayoutColumnar
+			spec.Columns = services.SchemaWidths(LineitemSchema())
+		}
+		if err := e.Client.CreateSetSpec(spec); err != nil {
 			return fmt.Errorf("tpch: create %s: %w", name, err)
 		}
 		if err := placement.DispatchRandom(e.Client, e.Addrs, name, tables[name]); err != nil {

@@ -166,8 +166,12 @@ func (h *joinHandle) drop() { _ = h.pool.DropSet(h.set) }
 // --- Q01: pricing summary report -------------------------------------------
 
 // Q01 scans lineitem with a date filter and aggregates five metrics by
-// (returnflag, linestatus). No join: both modes share the plan.
+// (returnflag, linestatus). No join: both modes share the plan. Columnar
+// lineitem runs the vectorized batch pipeline instead of the row iterators.
 func (r *Runner) Q01() (Result, error) {
+	if r.lineitemColumnar() {
+		return r.q01Batch()
+	}
 	spec := f64Spec(5,
 		func(row query.Row) []byte { return row[56:58] }, // returnflag, linestatus
 		func(row query.Row, v []float64) {
@@ -367,8 +371,12 @@ func (r *Runner) Q04() (Result, error) {
 
 // --- Q06: forecasting revenue change -----------------------------------------
 
-// Q06 is a pure filter + sum over lineitem.
+// Q06 is a pure filter + sum over lineitem; columnar lineitem runs the
+// selection-kernel batch pipeline.
 func (r *Runner) Q06() (Result, error) {
+	if r.lineitemColumnar() {
+		return r.q06Batch()
+	}
 	spec := f64Spec(1, func(query.Row) []byte { return starKey },
 		func(row query.Row, v []float64) {
 			v[0] = LExtendedPrice(row) * LDiscount(row)
