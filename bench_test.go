@@ -118,6 +118,10 @@ func BenchmarkS9Prefetch(b *testing.B) { runExperiment(b, "s9") }
 // and cold.
 func BenchmarkS10Columnar(b *testing.B) { runExperiment(b, "s10") }
 
+// BenchmarkS11ZoneMap regenerates the zone-map experiment: the selective
+// scan sweep with page skipping on vs off, warm and cold, 1 and 4 drives.
+func BenchmarkS11ZoneMap(b *testing.B) { runExperiment(b, "s11") }
+
 // BenchmarkBatchScan is the batch-vs-row scan microbenchmark: one warm
 // pass of a 10%-selectivity scan-filter-sum over the same records in both
 // layouts. The row variant walks record framing and emits every row

@@ -278,6 +278,24 @@ func TestSetStats(t *testing.T) {
 		t.Errorf("wire reports spills=%d loads=%d, pool reports %d/%d",
 			st.SpillWrites, st.LoadReads, set.SpillWrites(), set.LoadReads())
 	}
+	// The zone-map gauges travel too: bump them on the set and re-ask.
+	set.NoteZoneMap(10, 4)
+	st, err = cl.SetStats(w.Addr(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ZoneMapChecks != set.ZoneMapChecks() || st.ZoneMapSkips != set.ZoneMapSkips() ||
+		st.ZoneMapChecks == 0 || st.ZoneMapSkips == 0 {
+		t.Errorf("wire reports zone-map checks=%d skips=%d, set reports %d/%d (want nonzero, equal)",
+			st.ZoneMapChecks, st.ZoneMapSkips, set.ZoneMapChecks(), set.ZoneMapSkips())
+	}
+	nst, err := cl.NodeStats(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nst.ZoneMapChecks != 10 || nst.ZoneMapSkips != 4 {
+		t.Errorf("node-wide zone-map gauges = %d/%d, want the set's 10/4 aggregated", nst.ZoneMapChecks, nst.ZoneMapSkips)
+	}
 }
 
 // TestNodeStats: a worker reports its pool's NUMA placement gauges over

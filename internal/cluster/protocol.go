@@ -166,6 +166,11 @@ type SetStatsResp struct {
 	DiskBytes     int64
 	SpillWrites   int64
 	LoadReads     int64
+	// ZoneMapChecks and ZoneMapSkips are the set's page-skipping gauges:
+	// pages predicate scans evaluated against the set's zone map, and the
+	// subset pruned without any pin or read.
+	ZoneMapChecks int64
+	ZoneMapSkips  int64
 	Err           string
 }
 
@@ -187,7 +192,11 @@ type NodeStatsResp struct {
 	PrefetchHits     int64
 	PrefetchWasted   int64
 	LoadsInFlight    int64
-	Err              string
+	// ZoneMapChecks and ZoneMapSkips aggregate the page-skipping gauges
+	// over every set in the worker's pool.
+	ZoneMapChecks int64
+	ZoneMapSkips  int64
+	Err           string
 }
 
 // RegisterReplicaReq records replica metadata in the manager's statistics

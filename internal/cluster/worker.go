@@ -476,6 +476,8 @@ func (w *Worker) handleSetStats(req SetStatsReq) SetStatsResp {
 		DiskBytes:     set.DiskBytes(),
 		SpillWrites:   set.SpillWrites(),
 		LoadReads:     set.LoadReads(),
+		ZoneMapChecks: set.ZoneMapChecks(),
+		ZoneMapSkips:  set.ZoneMapSkips(),
 	}
 }
 
@@ -493,5 +495,7 @@ func (w *Worker) handleNodeStats(req NodeStatsReq) NodeStatsResp {
 		PrefetchHits:     stats.PrefetchHits.Load(),
 		PrefetchWasted:   stats.PrefetchWasted.Load(),
 		LoadsInFlight:    stats.LoadsInFlight.Load(),
+		ZoneMapChecks:    stats.ZoneMapChecks.Load(),
+		ZoneMapSkips:     stats.ZoneMapSkips.Load(),
 	}
 }

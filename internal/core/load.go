@@ -96,19 +96,33 @@ func (lp *loadPipeline) submit(s *LocalitySet, num, off int64, loc pfs.PageLoc, 
 // for callers that know more than the pattern tags say, and it works even
 // with automatic read-ahead disabled.
 func (s *LocalitySet) Prefetch(nums []int64) int {
+	filter := s.prefetchFilterFn()
 	issued := 0
 	for i, num := range nums {
+		if filter != nil && !filter(num) {
+			// A predicate scan pruned this page: it will never be read, so
+			// neither speculate on it nor let it count toward any reclaim
+			// budget below.
+			continue
+		}
 		ok, stop, starved := s.prefetchOne(num)
 		if ok {
 			issued++
 		}
 		if starved {
 			// The allocator refused the frame. Arm the eviction daemon's
-			// speculative-reclaim budget with the whole unfulfilled tail of
-			// this batch — the bytes these hints actually wanted — so
-			// background reclaim frees enough for the retried window, not
-			// just one frame per batch.
-			s.pool.noteStarved(int64(len(nums)-i) * s.pageSize)
+			// speculative-reclaim budget with the unfulfilled tail of this
+			// batch — the bytes these hints actually wanted, which excludes
+			// any pruned pages in the tail (they were never going to be
+			// read) — so background reclaim frees enough for the retried
+			// window, not just one frame per batch.
+			want := int64(0)
+			for _, m := range nums[i:] {
+				if filter == nil || filter(m) {
+					want++
+				}
+			}
+			s.pool.noteStarved(want * s.pageSize)
 		}
 		if stop {
 			break
@@ -182,23 +196,28 @@ func (s *LocalitySet) readAheadLocked() int {
 // The window deliberately does not wrap: a single-pass scan would pay a
 // whole window of wasted reads at its tail, while a looping scan loses
 // almost nothing — its next pass's first miss re-opens the window at the
-// head.
+// head. With a prefetch filter installed (a predicate scan pruned pages),
+// the window is built from the next k accepted pages — depth extends over
+// pruned runs so the drives still see k useful reads, and pruned pages are
+// never speculated on.
 func (s *LocalitySet) readAheadFrom(num int64, k int) {
 	s.mu.Lock()
 	n := s.nextNum
+	filter := s.prefetchFilter
 	s.mu.Unlock()
-	end := num + 1 + int64(k)
-	if end > n {
-		end = n
-	}
-	if end <= num+1 {
+	if num+1 >= n || k <= 0 {
 		return
 	}
-	nums := make([]int64, 0, end-num-1)
-	for i := num + 1; i < end; i++ {
+	nums := make([]int64, 0, k)
+	for i := num + 1; i < n && len(nums) < k; i++ {
+		if filter != nil && !filter(i) {
+			continue
+		}
 		nums = append(nums, i)
 	}
-	s.Prefetch(nums)
+	if len(nums) > 0 {
+		s.Prefetch(nums)
+	}
 }
 
 // finishLoad publishes a load's outcome: on success the frame enters the

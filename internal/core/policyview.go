@@ -76,6 +76,11 @@ type SetSnapshot struct {
 	// TotalPages is the total logical page count (resident or spilled),
 	// which DBMIN's looping/random size estimates use.
 	TotalPages int64
+	// ZoneMapChecks and ZoneMapSkips are the set's lifetime page-skipping
+	// gauges at snapshot time: pages predicate scans evaluated against the
+	// set's zone map, and the subset pruned without any pin or I/O.
+	ZoneMapChecks int64
+	ZoneMapSkips  int64
 	// Evictable lists the set's pages that were evictable at snapshot time:
 	// resident, unpinned, and not already being evicted. Empty for sets
 	// whose Location attribute pins them in memory.
@@ -249,6 +254,8 @@ func (bp *BufferPool) snapshot() *PolicyView {
 			PendingBytes:  s.pendingBytes.Load(),
 			Entitlement:   bp.entitlementWith(totalWeight, s),
 			TotalPages:    s.nextNum,
+			ZoneMapChecks: s.zmChecks.Load(),
+			ZoneMapSkips:  s.zmSkips.Load(),
 			set:           s,
 			quota:         s.quota,
 		}

@@ -120,6 +120,12 @@ type PoolStats struct {
 	// LoadsInFlight is the number of page loads — demand misses and
 	// prefetches — currently queued on or executing in the read path.
 	LoadsInFlight atomic.Int64
+	// ZoneMapChecks counts pages a scan evaluated against a set's zone-map
+	// summaries before pinning; ZoneMapSkips counts the subset those checks
+	// pruned — pages a selective scan never pinned, read, or speculated on.
+	// Bumped through LocalitySet.NoteZoneMap by the query layer.
+	ZoneMapChecks atomic.Int64
+	ZoneMapSkips  atomic.Int64
 }
 
 // ErrNoEvictable is returned when an allocation cannot be satisfied because

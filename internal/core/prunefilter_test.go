@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPrefetchFilterSkipsPrunedPages installs a prune filter (what a
+// predicate scan's zone-map pass does) and verifies speculation honours it:
+// hints on pruned pages issue no reads, the surviving pages still stream in,
+// and a demand Pin of a pruned page keeps working — the filter is a hint to
+// speculation, never a correctness gate.
+func TestPrefetchFilterSkipsPrunedPages(t *testing.T) {
+	const pageSize = 4 << 10
+	const n = 8
+	bp, _ := prefetchPool(t, 2, 16, pageSize)
+	s := writeSpilled(t, bp, "data", n, pageSize, 0)
+	coolSet(t, bp, s)
+
+	s.SetPrefetchFilter(func(num int64) bool { return num%2 == 0 })
+	if issued := s.Prefetch(s.PageNums()); issued != n/2 {
+		t.Fatalf("Prefetch issued %d reads with half the pages pruned, want %d", issued, n/2)
+	}
+	waitFor(t, 5*time.Second, func() bool { return bp.Stats().LoadsInFlight.Load() == 0 }, "loads to settle")
+	if got := s.ResidentPages(); got != n/2 {
+		t.Errorf("ResidentPages = %d, want %d (only unpruned pages speculated)", got, n/2)
+	}
+	if got := s.LoadReads(); got != n/2 {
+		t.Errorf("LoadReads = %d, want %d — a pruned page reached a drive", got, n/2)
+	}
+	// Demand access ignores the filter.
+	p, err := s.Pin(1)
+	if err != nil {
+		t.Fatalf("Pin of a pruned page: %v", err)
+	}
+	if err := checkStamp(p.Bytes(), int64(s.ID()), 1); err != nil {
+		t.Error(err)
+	}
+	if err := s.Unpin(p, false); err != nil {
+		t.Fatal(err)
+	}
+	// Clearing the filter re-opens speculation on the rest.
+	s.SetPrefetchFilter(nil)
+	s.Prefetch(s.PageNums())
+	waitFor(t, 5*time.Second, func() bool { return s.ResidentPages() == n }, "remaining pages to land")
+	if err := bp.DropSet(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefetchFilterStarvedBudgetExcludesPruned is the prune/prefetch
+// interaction regression test: when speculation starves against a full pool,
+// the eviction daemon's reclaim budget must be armed with only the hinted
+// pages a predicate scan still wants — pruned pages were never going to be
+// read, and charging for them would make background reclaim evict real
+// residents to make room for reads that never come.
+func TestPrefetchFilterStarvedBudgetExcludesPruned(t *testing.T) {
+	const pageSize = 4 << 10
+	const n = 8
+	// Three pages of arena hold exactly two carved frames (each frame pays a
+	// small allocator header), so two pinned filler pages fill the pool.
+	bp, _ := prefetchPool(t, 1, 3, pageSize)
+	s := writeSpilled(t, bp, "data", n, pageSize, 0)
+	coolSet(t, bp, s)
+
+	filler, err := bp.CreateSet(SetSpec{Name: "pins", PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := make([]*Page, 2)
+	for i := range pinned {
+		if pinned[i], err = filler.NewPage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s.SetPrefetchFilter(func(num int64) bool { return num%4 == 0 })
+	base := bp.loadStarved.Load()
+	if issued := s.Prefetch(s.PageNums()); issued != 0 {
+		t.Fatalf("Prefetch against a pinned-full pool issued %d reads, want 0", issued)
+	}
+	// The batch starved on page 0; its unfulfilled tail holds all 8 hints but
+	// only the 2 unpruned ones may be charged (the budget clamps at pool
+	// memory, so charging the full tail would saturate it instead).
+	if got := bp.loadStarved.Load() - base; got != (n/4)*pageSize {
+		t.Fatalf("starved budget charged %d bytes, want %d (pruned pages must not count)", got, (n/4)*pageSize)
+	}
+
+	for _, p := range pinned {
+		if err := filler.Unpin(p, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bp.DropSet(filler); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.DropSet(s); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -50,6 +50,11 @@ type LocalitySet struct {
 	// absorbs the eviction I/O and who is forced to re-read.
 	spills atomic.Int64
 	loads  atomic.Int64
+	// zmChecks counts pages a scan evaluated against this set's zone map;
+	// zmSkips the pages those checks pruned (never pinned or read). Bumped
+	// by NoteZoneMap from the query layer's predicate scans.
+	zmChecks atomic.Int64
+	zmSkips  atomic.Int64
 
 	// mu guards everything below, plus the mutable fields of this set's
 	// Pages. Each set has its own lock so Pin/Unpin/NewPage traffic on
@@ -68,6 +73,17 @@ type LocalitySet struct {
 	nextNum    int64
 	lastAccess int64 // AccessRecency: tick of the set's last page access
 	dropped    bool
+	// sideIndex is an opaque scan-side summary attached to the set (the
+	// services zone map; core cannot name the type without an import
+	// cycle). Scans read it through SideIndex to prune pages before
+	// pinning.
+	sideIndex any
+	// prefetchFilter, when non-nil, limits speculation to pages it accepts:
+	// Prefetch and the automatic read-ahead skip pages the filter rejects,
+	// and rejected pages never charge the starved-speculation reclaim
+	// budget (they were never going to be read). Installed by predicate
+	// scans for the pages their zone map pruned.
+	prefetchFilter func(num int64) bool
 }
 
 // ID returns the set's identifier.
@@ -182,6 +198,73 @@ func (s *LocalitySet) SpillWrites() int64 { return s.spills.Load() }
 // declared a sequential reading pattern it counts exactly the pages the set
 // once had resident and lost.
 func (s *LocalitySet) LoadReads() int64 { return s.loads.Load() }
+
+// ZoneMapChecks returns how many pages scans evaluated against this set's
+// zone map before pinning.
+func (s *LocalitySet) ZoneMapChecks() int64 { return s.zmChecks.Load() }
+
+// ZoneMapSkips returns how many of those checked pages the zone map pruned —
+// pages a selective scan never pinned, read, or speculated on.
+func (s *LocalitySet) ZoneMapSkips() int64 { return s.zmSkips.Load() }
+
+// NoteZoneMap attributes one scan's zone-map consultation to the set and the
+// pool: checks pages evaluated, skips the subset pruned.
+func (s *LocalitySet) NoteZoneMap(checks, skips int64) {
+	s.zmChecks.Add(checks)
+	s.zmSkips.Add(skips)
+	s.pool.stats.ZoneMapChecks.Add(checks)
+	s.pool.stats.ZoneMapSkips.Add(skips)
+}
+
+// SetSideIndex attaches an opaque scan-side summary (e.g. the services zone
+// map) to the set; nil detaches. The set does not interpret it — the query
+// layer type-asserts what it finds.
+func (s *LocalitySet) SetSideIndex(idx any) {
+	s.mu.Lock()
+	s.sideIndex = idx
+	s.mu.Unlock()
+}
+
+// SideIndex returns the attached scan-side summary, or nil.
+func (s *LocalitySet) SideIndex() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sideIndex
+}
+
+// SetPrefetchFilter installs (or with nil clears) a filter limiting
+// speculation to pages the filter accepts. A predicate scan installs one for
+// the duration of a pruned scan so neither its own hints nor the automatic
+// read-ahead speculate on pages the predicate excludes; pages the filter
+// rejects also never count toward the starved-speculation reclaim budget.
+// Concurrent scans overwrite each other (last writer wins) — the filter is a
+// conservative performance hint, never a correctness gate: demand Pins
+// ignore it.
+func (s *LocalitySet) SetPrefetchFilter(f func(num int64) bool) {
+	s.mu.Lock()
+	s.prefetchFilter = f
+	s.mu.Unlock()
+}
+
+// prefetchFilterFn snapshots the current prefetch filter.
+func (s *LocalitySet) prefetchFilterFn() func(num int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prefetchFilter
+}
+
+// WriteSideObject persists a named per-set side object (e.g. a serialized
+// zone map) through the set's file instance. The object is replaced
+// atomically with respect to readers of this process.
+func (s *LocalitySet) WriteSideObject(tag string, data []byte) error {
+	return s.file.WriteSideObject(tag, data)
+}
+
+// ReadSideObject returns the contents of a named side object, or an error
+// wrapping pfs.ErrNoSideObject when none was ever written.
+func (s *LocalitySet) ReadSideObject(tag string) ([]byte, error) {
+	return s.file.ReadSideObject(tag)
+}
 
 // dropFrame frees a carved frame that never became (or no longer is) a
 // resident page and releases its admission charge — the abandon-path

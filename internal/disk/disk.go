@@ -90,6 +90,14 @@ func (d *Disk) Create(name string) (*File, error) {
 	return &File{d: d, f: f, path: path}, nil
 }
 
+// Exists reports whether a file named name is present on this drive.
+// OpenFile creates absent files, so callers that must distinguish "never
+// written" (pfs side objects) check here first.
+func (d *Disk) Exists(name string) bool {
+	_, err := os.Stat(filepath.Join(d.dir, name))
+	return err == nil
+}
+
 // OpenFile opens an existing file on this drive without truncating it,
 // creating it empty if absent (used when re-attaching meta/data files).
 func (d *Disk) OpenFile(name string) (*File, error) {

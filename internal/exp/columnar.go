@@ -214,17 +214,31 @@ func s10Sweep(o Options, rows [][]byte, pageSize int64, columnar bool, drives in
 	return out, bp.DropSet(set)
 }
 
+// s10Pred is the sweep's date filter in predicate form: one expression
+// that compiles to the row closure, the selection kernel, and (on sets
+// with zone maps — s10's modulo dates make every page unprunable, s11's
+// clustered dates the opposite) the page prune.
+func s10Pred(cutoff uint16) query.Predicate {
+	return query.ColRange{Col: s10ColDate, Lo: 0, Hi: uint64(cutoff)}
+}
+
+// s10Schema describes the fact row to the predicate algebra for row-layout
+// scans (columnar sets carry their own widths).
+func s10Schema() []services.ColumnSpec {
+	return services.MakeSchema([]string{"key", "date", "val", "pad"}, s10Widths)
+}
+
 // s10Scan runs one scan-filter-sum pass over the set with either pipeline.
-// The row mode is the operator composition a query uses (Scan into Filter
-// into a sink); the sink's lock is taken only for rows that survive the
-// filter, so the row mode's per-unmatched-row cost is purely the pipeline's.
+// Both modes express the filter as the same ScanSpec predicate; the sink's
+// lock is taken only for rows that survive it, so the row mode's
+// per-unmatched-row cost is purely the pipeline's.
 func s10Scan(set *core.LocalitySet, cutoff uint16, columnar bool) (s10Result, error) {
 	var mu sync.Mutex
 	var res s10Result
 	var err error
 	if columnar {
-		err = query.ScanBatches(set, s10Threads, func(_ int, b *query.Batch) error {
-			b.SelU16Range(s10ColDate, 0, cutoff)
+		spec := query.ScanSpec{Set: set, Threads: s10Threads, Pred: s10Pred(cutoff)}
+		err = spec.RunBatches(func(_ int, b *query.Batch) error {
 			vals := b.Col(s10ColVal)
 			var s float64
 			for _, r := range b.Sel() {
@@ -237,10 +251,8 @@ func s10Scan(set *core.LocalitySet, cutoff uint16, columnar bool) (s10Result, er
 			return nil
 		})
 	} else {
-		matching := query.Filter(query.Scan(set, s10Threads), func(r query.Row) bool {
-			return binary.LittleEndian.Uint16(r[8:10]) < cutoff
-		})
-		err = matching(func(r query.Row) error {
+		spec := query.ScanSpec{Set: set, Threads: s10Threads, Pred: s10Pred(cutoff), Schema: s10Schema()}
+		err = spec.Run(func(_ int, r query.Row) error {
 			v := math.Float64frombits(binary.LittleEndian.Uint64(r[10:18]))
 			mu.Lock()
 			res.sum += v

@@ -128,6 +128,7 @@ var Registry = []struct {
 	{"s8", S8Locality, "NUMA shard placement: node-affine vs interleaved allocation, real and fake topologies"},
 	{"s9", S9Prefetch, "async prefetching read path: cold sequential/looping scans vs drive count, read-ahead on/off"},
 	{"s10", S10Columnar, "columnar page layout: selective scan-filter-agg, batch kernels vs row decode, warm and cold"},
+	{"s11", S11ZoneMap, "zone-map page skipping: selective scans with maps on/off, warm and cold, 1 and 4 drives"},
 }
 
 // Run executes one experiment by id.

@@ -342,6 +342,49 @@ func TestS10ColumnarBeatsRowWhenSelective(t *testing.T) {
 	}
 }
 
+// TestS11ZoneMapSkipsPages: the cold selective scans with maps on must do
+// measurably fewer drive page reads than the identical scan with pruning
+// disabled, and the skip counter must show real pruning — that is the zone
+// map's reason to exist. At 10% (the loosest cutoff in the sweep) the data
+// is clustered, so pruning must still drop most pages.
+func TestS11ZoneMapSkipsPages(t *testing.T) {
+	tab, err := S11ZoneMap(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ mode, sel, maps, drives string }
+	reads := map[key]float64{}
+	skips := map[key]float64{}
+	for i, row := range tab.Rows {
+		k := key{row[0], row[1], row[2], row[3]}
+		reads[k] = cell(t, tab, i, 5)
+		skips[k] = cell(t, tab, i, 6)
+	}
+	for _, drives := range []string{"1", "4"} {
+		for _, sel := range []string{"1", "10", "100"} {
+			on := key{"cold", sel, "on", drives}
+			off := key{"cold", sel, "off", drives}
+			if _, ok := reads[on]; !ok {
+				t.Fatalf("missing cold maps=on row sel=%s drives=%s: %v", sel, drives, tab.Rows)
+			}
+			if skips[on] == 0 {
+				t.Errorf("cold sel=%s drives=%s: zone map skipped no pages over clustered data", sel, drives)
+			}
+			if skips[off] != 0 {
+				t.Errorf("cold sel=%s drives=%s: HintNoPrune scan skipped %v pages, want 0", sel, drives, skips[off])
+			}
+			if reads[on] >= reads[off] {
+				t.Errorf("cold sel=%s drives=%s: maps on read %v pages, off read %v — pruning saved no I/O",
+					sel, drives, reads[on], reads[off])
+			}
+		}
+	}
+	// The most selective cutoff must read only a sliver of the pages.
+	if r, full := reads[key{"cold", "1", "on", "1"}], reads[key{"cold", "1", "off", "1"}]; r > full/4 {
+		t.Errorf("cold sel=1 permil: maps on read %v of %v pages, want a small fraction", r, full)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := Run("nope", Options{}); err == nil {
 		t.Error("unknown experiment must error")

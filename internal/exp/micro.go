@@ -10,6 +10,7 @@ import (
 	"pangea/internal/layered"
 	"pangea/internal/memory"
 	"pangea/internal/paging"
+	"pangea/internal/query"
 	"pangea/internal/services"
 )
 
@@ -80,7 +81,7 @@ func pangeaSeqRun(bp *core.BufferPool, name string, durability core.DurabilityTy
 	start = time.Now()
 	for it := 0; it < scanIters; it++ {
 		var sink int64
-		if err := services.ScanSet(set, 2, func(_ int, rec []byte) error {
+		if err := (query.ScanSpec{Set: set, Threads: 2}).Run(func(_ int, rec query.Row) error {
 			sink += sumBytes(rec)
 			return nil
 		}); err != nil {

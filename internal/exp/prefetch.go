@@ -7,6 +7,7 @@ import (
 
 	"pangea/internal/core"
 	"pangea/internal/disk"
+	"pangea/internal/query"
 	"pangea/internal/services"
 )
 
@@ -121,7 +122,7 @@ func s9Run(o Options, cfgName string, drives int, prefetch bool, totalPages int,
 	}
 	scan := func() error {
 		var sink int64
-		return services.ScanSet(set, 1, func(_ int, r []byte) error {
+		return (query.ScanSpec{Set: set, Threads: 1}).Run(func(_ int, r query.Row) error {
 			sink += int64(r[0]) + int64(r[len(r)-1])
 			return nil
 		})

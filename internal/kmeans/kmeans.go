@@ -141,7 +141,7 @@ func Run(e *query.Executor, inputSet string, cfg Config) (*Model, error) {
 		var mu sync.Mutex
 		rec := make([]byte, recSize)
 		point := make([]float64, cfg.Dim)
-		err = services.ScanSet(in, cfg.Threads, func(_ int, raw []byte) error {
+		err = (query.ScanSpec{Set: in, Threads: cfg.Threads}).Run(func(_ int, raw []byte) error {
 			mu.Lock()
 			defer mu.Unlock()
 			DecodePoint(raw, point)
@@ -235,7 +235,7 @@ func assignAndSum(e *query.Executor, normsSet string, centroids [][]float64, cfg
 			if err != nil {
 				return err
 			}
-			return services.ScanSet(set, cfg.Threads, func(_ int, rec []byte) error {
+			return (query.ScanSpec{Set: set, Threads: cfg.Threads}).Run(func(_ int, rec []byte) error {
 				norm := math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8]))
 				best, bestDist := 0, math.Inf(1)
 				for c, cen := range centroids {

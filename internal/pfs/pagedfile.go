@@ -28,6 +28,10 @@ type PageLoc struct {
 // ErrNoPage is returned when reading a page that has no on-disk image.
 var ErrNoPage = errors.New("pfs: page has no on-disk image")
 
+// ErrNoSideObject is returned when reading a side object that was never
+// written.
+var ErrNoSideObject = errors.New("pfs: no such side object")
+
 const (
 	metaMagic   = 0x50414E47 // "PANG"
 	metaVersion = 1
@@ -40,11 +44,12 @@ type PagedFile struct {
 	array    *disk.Array
 
 	mu    sync.Mutex
-	data  []*disk.File      // one per drive
-	meta  *disk.File        // on drive 0
-	pages map[int64]PageLoc // page number -> location
-	next  []int64           // per-drive append offset
-	seq   int64             // round-robin counter for new pages
+	data  []*disk.File          // one per drive
+	meta  *disk.File            // on drive 0
+	pages map[int64]PageLoc     // page number -> location
+	next  []int64               // per-drive append offset
+	seq   int64                 // round-robin counter for new pages
+	sides map[string]*disk.File // open side-object files by tag, on drive 0
 }
 
 // Create makes a new, empty paged file named name with the given page size.
@@ -314,6 +319,73 @@ func (pf *PagedFile) loadMeta() error {
 	return nil
 }
 
+// Side objects are small named companions of a file instance — per-set
+// summaries like zone maps — stored as "<name>.<tag>" on drive 0 next to the
+// meta file. They are caches derived from the page data: a reader that finds
+// none (or a stale one) rebuilds, so side objects need none of the paging
+// machinery — a whole-object write and a whole-object read suffice.
+
+// sideFile returns the open handle for tag, opening or (when create is set)
+// creating the on-disk file on demand. Caller holds pf.mu.
+func (pf *PagedFile) sideFile(tag string, create bool) (*disk.File, error) {
+	if f, ok := pf.sides[tag]; ok {
+		return f, nil
+	}
+	name := pf.name + "." + tag
+	if !create && !pf.array.Disk(0).Exists(name) {
+		return nil, fmt.Errorf("%w: %s of %s", ErrNoSideObject, tag, pf.name)
+	}
+	f, err := pf.array.Disk(0).OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if pf.sides == nil {
+		pf.sides = make(map[string]*disk.File)
+	}
+	pf.sides[tag] = f
+	return f, nil
+}
+
+// WriteSideObject replaces the contents of the named side object.
+func (pf *PagedFile) WriteSideObject(tag string, data []byte) error {
+	pf.mu.Lock()
+	f, err := pf.sideFile(tag, true)
+	pf.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadSideObject returns the full contents of the named side object, or an
+// error wrapping ErrNoSideObject when it was never written.
+func (pf *PagedFile) ReadSideObject(tag string) ([]byte, error) {
+	pf.mu.Lock()
+	f, err := pf.sideFile(tag, false)
+	pf.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if size == 0 {
+		return buf, nil
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 func (pf *PagedFile) closeAll() {
 	for _, f := range pf.data {
 		if f != nil {
@@ -322,6 +394,9 @@ func (pf *PagedFile) closeAll() {
 	}
 	if pf.meta != nil {
 		pf.meta.Close()
+	}
+	for _, f := range pf.sides {
+		f.Close()
 	}
 }
 
@@ -345,6 +420,11 @@ func (pf *PagedFile) Remove() error {
 	}
 	if err := pf.meta.Remove(); err != nil && first == nil {
 		first = err
+	}
+	for _, f := range pf.sides {
+		if err := f.Remove(); err != nil && first == nil {
+			first = err
+		}
 	}
 	return first
 }

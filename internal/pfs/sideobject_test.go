@@ -1,0 +1,105 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestSideObjectRoundTrip: whole-object write/read, overwrite with a
+// shorter payload (no stale tail), multiple independent tags, and
+// ErrNoSideObject for tags never written.
+func TestSideObjectRoundTrip(t *testing.T) {
+	a := newArray(t, 2)
+	pf, err := Create(a, "set1", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Remove()
+
+	if _, err := pf.ReadSideObject("zmap"); !errors.Is(err, ErrNoSideObject) {
+		t.Fatalf("read of unwritten side object = %v, want ErrNoSideObject", err)
+	}
+	want := bytes.Repeat([]byte{0xA5}, 1000)
+	if err := pf.WriteSideObject("zmap", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pf.ReadSideObject("zmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("side object round-trip mismatch")
+	}
+	// Overwrite with a shorter object: the old tail must not survive.
+	short := []byte("short")
+	if err := pf.WriteSideObject("zmap", short); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = pf.ReadSideObject("zmap"); err != nil || !bytes.Equal(got, short) {
+		t.Fatalf("after shrink: %q err %v, want %q", got, err, short)
+	}
+	// Tags are independent.
+	if err := pf.WriteSideObject("other", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = pf.ReadSideObject("zmap"); !bytes.Equal(got, short) {
+		t.Error("writing one tag disturbed another")
+	}
+}
+
+// TestSideObjectSurvivesReopen: side objects persist with the file instance
+// and come back after Close/Open — the restart path zone maps rely on.
+func TestSideObjectSurvivesReopen(t *testing.T) {
+	a := newArray(t, 1)
+	pf, err := Create(a, "set1", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.WritePage(0, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("persisted summary")
+	if err := pf.WriteSideObject("zmap", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pf2, err := Open(a, "set1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Remove()
+	got, err := pf2.ReadSideObject("zmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after reopen: %q, want %q", got, want)
+	}
+}
+
+// TestRemoveDeletesSideObjects: Remove takes the instance's side objects
+// with it, so a recreated same-named set does not inherit them.
+func TestRemoveDeletesSideObjects(t *testing.T) {
+	a := newArray(t, 1)
+	pf, err := Create(a, "set1", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.WriteSideObject("zmap", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	pf2, err := Create(a, "set1", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Remove()
+	if _, err := pf2.ReadSideObject("zmap"); !errors.Is(err, ErrNoSideObject) {
+		t.Fatalf("recreated set inherited a side object: err %v, want ErrNoSideObject", err)
+	}
+}

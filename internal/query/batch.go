@@ -214,6 +214,54 @@ func (b *Batch) SelF64Range(c int, lo, hi float64) {
 	b.sel = out
 }
 
+// SelU64Range keeps rows with lo <= col[row] < hi.
+func (b *Batch) SelU64Range(c int, lo, hi uint64) {
+	col := b.page.Col(c)
+	if b.sel == nil {
+		b.selBuf = grow(b.selBuf, b.n)
+		out := b.selBuf[:0]
+		for i := 0; i < b.n; i++ {
+			if v := binary.LittleEndian.Uint64(col[i*8:]); v >= lo && v < hi {
+				out = append(out, int32(i))
+			}
+		}
+		b.sel = out
+		return
+	}
+	out := b.sel[:0]
+	for _, i := range b.sel {
+		if v := binary.LittleEndian.Uint64(col[i*8:]); v >= lo && v < hi {
+			out = append(out, i)
+		}
+	}
+	b.sel = out
+}
+
+// SelByteRange keeps rows with lo <= col[row] < hi over a 1-byte column.
+// Bounds are uint64 — the predicate algebra's value domain — so hi=256
+// still expresses a half-open interval covering the whole byte range.
+func (b *Batch) SelByteRange(c int, lo, hi uint64) {
+	col := b.page.Col(c)
+	if b.sel == nil {
+		b.selBuf = grow(b.selBuf, b.n)
+		out := b.selBuf[:0]
+		for i := 0; i < b.n; i++ {
+			if v := uint64(col[i]); v >= lo && v < hi {
+				out = append(out, int32(i))
+			}
+		}
+		b.sel = out
+		return
+	}
+	out := b.sel[:0]
+	for _, i := range b.sel {
+		if v := uint64(col[i]); v >= lo && v < hi {
+			out = append(out, i)
+		}
+	}
+	b.sel = out
+}
+
 // SelByteEq keeps rows whose 1-byte column equals v.
 func (b *Batch) SelByteEq(c int, v byte) {
 	col := b.page.Col(c)
@@ -242,11 +290,21 @@ func (b *Batch) SelByteEq(c int, v byte) {
 // Batch per pinned page, each thread reusing a single Batch so the steady
 // state allocates nothing. fn's batch — including any column slice taken
 // from it — is invalid after fn returns, when the page is released.
+//
+// Deprecated: use ScanSpec{Set: set, Threads: numThreads}.RunBatches(fn),
+// which also takes a declarative Predicate the scan can prune pages with.
 func ScanBatches(set *core.LocalitySet, numThreads int, fn func(thread int, b *Batch) error) error {
+	return scanBatchesOver(set, set.PageNums(), numThreads, fn)
+}
+
+// scanBatchesOver is the batch-scan substrate shared by ScanBatches and
+// ScanSpec.RunBatches: the same striped iterator loop, restricted to an
+// explicit page list so a zone-map prune can drop pages up front.
+func scanBatchesOver(set *core.LocalitySet, nums []int64, numThreads int, fn func(thread int, b *Batch) error) error {
 	if set.Layout() != core.LayoutColumnar {
 		return fmt.Errorf("query: batch scan over %q, a %s-layout set", set.Name(), set.Layout())
 	}
-	iters := services.PageIterators(set, numThreads)
+	iters := services.PageIteratorsFor(set, nums, numThreads)
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(iters))
 	for t, it := range iters {
@@ -337,55 +395,17 @@ func AggBatch(b *Batch, spec BatchAggSpec, m map[string][]byte, keyBuf []byte) [
 // the survivors into per-thread partial maps, and the partials merge into
 // one result map at the end — the batch counterpart of LocalAggregate +
 // FinalAggregate on a single node.
+//
+// Deprecated: use ScanSpec{Set: set, Threads: numThreads}.AggBatches,
+// which also takes a declarative Predicate the scan can prune pages with.
 func AggBatches(set *core.LocalitySet, numThreads int, filter func(*Batch), spec BatchAggSpec) (map[string][]byte, error) {
-	if numThreads < 1 {
-		numThreads = 1
-	}
-	maps := make([]map[string][]byte, numThreads)
-	keys := make([][]byte, numThreads)
-	err := ScanBatches(set, numThreads, func(t int, b *Batch) error {
-		if filter != nil {
-			filter(b)
-		}
-		if maps[t] == nil {
-			maps[t] = make(map[string][]byte)
-		}
-		keys[t] = AggBatch(b, spec, maps[t], keys[t])
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string][]byte)
-	for _, m := range maps {
-		for k, v := range m {
-			if old, ok := out[k]; ok {
-				spec.Combine(old, v)
-			} else {
-				out[k] = v
-			}
-		}
-	}
-	return out, nil
+	return ScanSpec{Set: set, Threads: numThreads}.AggBatches(filter, spec)
 }
 
 // CountBatches counts the rows a filter keeps — a batch pipeline ending in
 // a count sink, with per-thread tallies.
+//
+// Deprecated: use ScanSpec{Set: set, Threads: numThreads}.CountBatches.
 func CountBatches(set *core.LocalitySet, numThreads int, filter func(*Batch)) (int64, error) {
-	if numThreads < 1 {
-		numThreads = 1
-	}
-	counts := make([]int64, numThreads)
-	err := ScanBatches(set, numThreads, func(t int, b *Batch) error {
-		if filter != nil {
-			filter(b)
-		}
-		counts[t] += int64(b.Selected())
-		return nil
-	})
-	var n int64
-	for _, c := range counts {
-		n += c
-	}
-	return n, err
+	return ScanSpec{Set: set, Threads: numThreads}.CountBatches(filter)
 }

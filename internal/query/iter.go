@@ -36,12 +36,11 @@ type Iter func(emit func(Row) error) error
 // pipeline on one synchronous read per page. Every TPC-H operator that
 // consumes a base or intermediate set inherits this by scanning through
 // here.
+//
+// Deprecated: use ScanSpec{Set: set, Threads: numThreads}.Iter(), which
+// also takes a declarative Predicate the scan can prune pages with.
 func Scan(set *core.LocalitySet, numThreads int) Iter {
-	return func(emit func(Row) error) error {
-		return services.ScanSet(set, numThreads, func(_ int, rec []byte) error {
-			return emit(rec)
-		})
-	}
+	return ScanSpec{Set: set, Threads: numThreads}.Iter()
 }
 
 // Warm hints that an imminent operator will read the whole set (e.g. the
@@ -54,8 +53,10 @@ func Warm(set *core.LocalitySet) int {
 
 // ScanThreaded is Scan with the worker-thread index exposed, for sinks that
 // keep per-thread state (e.g. per-thread shuffle buffers).
+//
+// Deprecated: use ScanSpec{Set: set, Threads: numThreads}.Run(fn).
 func ScanThreaded(set *core.LocalitySet, numThreads int, fn func(thread int, row Row) error) error {
-	return services.ScanSet(set, numThreads, fn)
+	return ScanSpec{Set: set, Threads: numThreads}.Run(fn)
 }
 
 // Filter drops rows failing the predicate (Table 2: Filter).

@@ -1,0 +1,406 @@
+package query
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pangea/internal/services"
+)
+
+// The predicate algebra: declarative filter expressions over fixed-width
+// columns that one ScanSpec pushes down through all three layers of a scan —
+// compiled to a row closure for record scans, to the typed Sel* batch
+// kernels for columnar scans, and to a zone-map prune check that drops whole
+// pages before they are pinned, read, or speculated on. An opaque
+// func(Row) bool can only do the first; the scanner cannot see inside it,
+// which is why the scan API takes a Predicate instead.
+//
+// Column indices address the scan's schema ([]services.ColumnSpec): for
+// columnar sets the set's own column order, for row sets whatever schema the
+// caller passes in ScanSpec. Integer comparisons use the column's unsigned
+// little-endian interpretation; ColRangeF64 is the float64 view.
+
+// PruneStats is the per-page summary surface a predicate consults to prove
+// pages empty of matches — implemented by *services.ZoneMap. All methods are
+// conservative: ok=false (or MayContain=true) means "cannot exclude".
+type PruneStats interface {
+	// ColRangeU returns the page's [min,max] for a column under the
+	// unsigned interpretation.
+	ColRangeU(pageNum int64, col int) (lo, hi uint64, ok bool)
+	// ColRangeF64 returns the page's [min,max] for an 8-byte column under
+	// the float64 interpretation.
+	ColRangeF64(pageNum int64, col int) (lo, hi float64, ok bool)
+	// MayContain reports whether the page may hold value v in the column.
+	MayContain(pageNum int64, col int, v uint64) bool
+}
+
+// Predicate is one filter expression. Implementations are the algebra's
+// node types (ColRange, ColRangeF64, ColEq, And, Or, RowPred); the methods
+// are unexported because the set of compilation targets is the scan API's
+// concern, not an extension point.
+type Predicate interface {
+	// compileRow compiles the predicate to a row closure over the schema —
+	// and is also the validation gate: a column index out of range or a
+	// width the node cannot handle errors here, for the batch path too.
+	compileRow(schema []services.ColumnSpec) (func(Row) bool, error)
+	// applyBatch narrows a batch's selection to the matching rows.
+	applyBatch(b *Batch) error
+	// evalBatchRow evaluates one row of a batch — the composition path Or
+	// uses, where child selections cannot simply intersect.
+	evalBatchRow(b *Batch, row int) bool
+	// prune reports whether the page provably holds no matching row.
+	prune(stats PruneStats, pageNum int64) bool
+}
+
+// schemaCol validates a column index against the schema.
+func schemaCol(schema []services.ColumnSpec, c int) (services.ColumnSpec, error) {
+	if c < 0 || c >= len(schema) {
+		return services.ColumnSpec{}, fmt.Errorf("query: predicate column %d out of range [0,%d)", c, len(schema))
+	}
+	return schema[c], nil
+}
+
+// widthMax returns the largest value a w-byte unsigned column can hold.
+func widthMax(w int) uint64 {
+	if w >= 8 {
+		return math.MaxUint64
+	}
+	return 1<<(8*w) - 1
+}
+
+// readU builds a width-specialized unsigned reader at offset off; short
+// records read as "no match" through the caller's length guard.
+func readU(off, w int) func(Row) uint64 {
+	switch w {
+	case 1:
+		return func(r Row) uint64 { return uint64(r[off]) }
+	case 2:
+		return func(r Row) uint64 { return uint64(binary.LittleEndian.Uint16(r[off:])) }
+	case 4:
+		return func(r Row) uint64 { return uint64(binary.LittleEndian.Uint32(r[off:])) }
+	default:
+		return func(r Row) uint64 { return binary.LittleEndian.Uint64(r[off:]) }
+	}
+}
+
+// batchU reads one unsigned lane from a batch, any width.
+func batchU(b *Batch, c, row int) uint64 {
+	switch b.Width(c) {
+	case 1:
+		return uint64(b.Byte(c, row))
+	case 2:
+		return uint64(b.U16(c, row))
+	case 4:
+		return uint64(b.U32(c, row))
+	default:
+		return b.U64(c, row)
+	}
+}
+
+// selNone clears a batch's selection — the compiled form of a vacuously
+// false predicate (e.g. an empty range).
+func selNone(b *Batch) { b.narrow(func(int32) bool { return false }) }
+
+// ColRange keeps rows with Lo <= col < Hi under the column's unsigned
+// interpretation — the half-open integer range node (dates, quantities,
+// keys). An empty range (Hi <= Lo) matches nothing, and so prunes every
+// page. The one value a width-8 range cannot reach is MaxUint64 itself
+// (Hi is exclusive); use ColEq for that point.
+type ColRange struct {
+	Col    int
+	Lo, Hi uint64
+}
+
+func (p ColRange) compileRow(schema []services.ColumnSpec) (func(Row) bool, error) {
+	spec, err := schemaCol(schema, p.Col)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Width {
+	case 1, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("query: ColRange over column %d of width %d", p.Col, spec.Width)
+	}
+	end := spec.Offset + spec.Width
+	read := readU(spec.Offset, spec.Width)
+	lo, hi := p.Lo, p.Hi
+	return func(r Row) bool {
+		if len(r) < end {
+			return false
+		}
+		v := read(r)
+		return v >= lo && v < hi
+	}, nil
+}
+
+func (p ColRange) applyBatch(b *Batch) error {
+	w := b.Width(p.Col)
+	maxV := widthMax(w)
+	if p.Hi <= p.Lo || p.Lo > maxV {
+		selNone(b)
+		return nil
+	}
+	if w < 8 && p.Hi > maxV {
+		// The range is unbounded above within this column's domain.
+		if p.Lo == 0 {
+			return nil // matches every value: nothing to narrow
+		}
+		lo := p.Lo
+		c := p.Col
+		b.narrow(func(i int32) bool { return batchU(b, c, int(i)) >= lo })
+		return nil
+	}
+	switch w {
+	case 1:
+		b.SelByteRange(p.Col, p.Lo, p.Hi)
+	case 2:
+		b.SelU16Range(p.Col, uint16(p.Lo), uint16(p.Hi))
+	case 4:
+		b.SelU32Range(p.Col, uint32(p.Lo), uint32(p.Hi))
+	default:
+		b.SelU64Range(p.Col, p.Lo, p.Hi)
+	}
+	return nil
+}
+
+func (p ColRange) evalBatchRow(b *Batch, row int) bool {
+	v := batchU(b, p.Col, row)
+	return v >= p.Lo && v < p.Hi
+}
+
+func (p ColRange) prune(stats PruneStats, pageNum int64) bool {
+	if p.Hi <= p.Lo {
+		return true
+	}
+	min, max, ok := stats.ColRangeU(pageNum, p.Col)
+	return ok && (max < p.Lo || min >= p.Hi)
+}
+
+// ColRangeF64 keeps rows with Lo <= col <= Hi under the float64
+// interpretation of an 8-byte column — closed on both ends, the shape of
+// TPC-H's discount band. NaN lanes never match.
+type ColRangeF64 struct {
+	Col    int
+	Lo, Hi float64
+}
+
+func (p ColRangeF64) compileRow(schema []services.ColumnSpec) (func(Row) bool, error) {
+	spec, err := schemaCol(schema, p.Col)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Width != 8 {
+		return nil, fmt.Errorf("query: ColRangeF64 over column %d of width %d, want 8", p.Col, spec.Width)
+	}
+	end := spec.Offset + 8
+	off := spec.Offset
+	lo, hi := p.Lo, p.Hi
+	return func(r Row) bool {
+		if len(r) < end {
+			return false
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(r[off:]))
+		return v >= lo && v <= hi
+	}, nil
+}
+
+func (p ColRangeF64) applyBatch(b *Batch) error {
+	b.SelF64Range(p.Col, p.Lo, p.Hi)
+	return nil
+}
+
+func (p ColRangeF64) evalBatchRow(b *Batch, row int) bool {
+	v := b.F64(p.Col, row)
+	return v >= p.Lo && v <= p.Hi
+}
+
+func (p ColRangeF64) prune(stats PruneStats, pageNum int64) bool {
+	min, max, ok := stats.ColRangeF64(pageNum, p.Col)
+	return ok && (max < p.Lo || min > p.Hi)
+}
+
+// ColEq keeps rows whose column equals V — the equality node, and the one
+// that exploits a zone map's bloom filter: min/max cannot prune a point
+// probe on an unclustered column, a bloom usually can.
+type ColEq struct {
+	Col int
+	V   uint64
+}
+
+func (p ColEq) compileRow(schema []services.ColumnSpec) (func(Row) bool, error) {
+	spec, err := schemaCol(schema, p.Col)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Width {
+	case 1, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("query: ColEq over column %d of width %d", p.Col, spec.Width)
+	}
+	end := spec.Offset + spec.Width
+	read := readU(spec.Offset, spec.Width)
+	v := p.V
+	return func(r Row) bool { return len(r) >= end && read(r) == v }, nil
+}
+
+func (p ColEq) applyBatch(b *Batch) error {
+	w := b.Width(p.Col)
+	if p.V > widthMax(w) {
+		selNone(b)
+		return nil
+	}
+	switch {
+	case w == 1:
+		b.SelByteEq(p.Col, byte(p.V))
+	case p.V == widthMax(w):
+		// V+1 would wrap the kernel's exclusive bound; evaluate directly.
+		c, v := p.Col, p.V
+		b.narrow(func(i int32) bool { return batchU(b, c, int(i)) == v })
+	case w == 2:
+		b.SelU16Range(p.Col, uint16(p.V), uint16(p.V)+1)
+	case w == 4:
+		b.SelU32Range(p.Col, uint32(p.V), uint32(p.V)+1)
+	default:
+		b.SelU64Range(p.Col, p.V, p.V+1)
+	}
+	return nil
+}
+
+func (p ColEq) evalBatchRow(b *Batch, row int) bool {
+	return batchU(b, p.Col, row) == p.V
+}
+
+func (p ColEq) prune(stats PruneStats, pageNum int64) bool {
+	return !stats.MayContain(pageNum, p.Col, p.V)
+}
+
+// And is the conjunction of its children: each child narrows the batch
+// selection in turn, and a page any child can prune is pruned. An empty And
+// matches everything.
+type And []Predicate
+
+func (p And) compileRow(schema []services.ColumnSpec) (func(Row) bool, error) {
+	fns := make([]func(Row) bool, len(p))
+	for i, c := range p {
+		fn, err := c.compileRow(schema)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	return func(r Row) bool {
+		for _, fn := range fns {
+			if !fn(r) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (p And) applyBatch(b *Batch) error {
+	for _, c := range p {
+		if err := c.applyBatch(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p And) evalBatchRow(b *Batch, row int) bool {
+	for _, c := range p {
+		if !c.evalBatchRow(b, row) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p And) prune(stats PruneStats, pageNum int64) bool {
+	for _, c := range p {
+		if c.prune(stats, pageNum) {
+			return true
+		}
+	}
+	return false
+}
+
+// Or is the disjunction of its children: a row matches if any child does,
+// and a page is pruned only if every child prunes it. An empty Or matches
+// nothing (and still prunes no page — vacuous disjunctions aren't worth a
+// special case in the prune path).
+type Or []Predicate
+
+func (p Or) compileRow(schema []services.ColumnSpec) (func(Row) bool, error) {
+	fns := make([]func(Row) bool, len(p))
+	for i, c := range p {
+		fn, err := c.compileRow(schema)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	return func(r Row) bool {
+		for _, fn := range fns {
+			if fn(r) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func (p Or) applyBatch(b *Batch) error {
+	// Children cannot narrow sequentially (each would intersect); evaluate
+	// the union row-at-a-time over the current selection.
+	b.narrow(func(i int32) bool { return p.evalBatchRow(b, int(i)) })
+	return nil
+}
+
+func (p Or) evalBatchRow(b *Batch, row int) bool {
+	for _, c := range p {
+		if c.evalBatchRow(b, row) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p Or) prune(stats PruneStats, pageNum int64) bool {
+	if len(p) == 0 {
+		return false
+	}
+	for _, c := range p {
+		if !c.prune(stats, pageNum) {
+			return false
+		}
+	}
+	return true
+}
+
+// RowPred is the escape hatch: an opaque row closure for the filter shapes
+// the algebra cannot express (cross-column comparisons, decoded string
+// probes). It pushes down to the row layer only — batch evaluation
+// materializes each candidate row, and no page is ever pruned by it —
+// so keep the selective, column-local parts of a filter in algebra nodes
+// and put only the residual here, typically under an And.
+type RowPred func(Row) bool
+
+func (p RowPred) compileRow([]services.ColumnSpec) (func(Row) bool, error) {
+	if p == nil {
+		return nil, fmt.Errorf("query: nil RowPred")
+	}
+	return p, nil
+}
+
+func (p RowPred) applyBatch(b *Batch) error {
+	b.narrow(func(i int32) bool { return p(b.MaterializeRow(int(i), nil)) })
+	return nil
+}
+
+func (p RowPred) evalBatchRow(b *Batch, row int) bool {
+	return p(b.MaterializeRow(row, nil))
+}
+
+func (p RowPred) prune(PruneStats, int64) bool { return false }

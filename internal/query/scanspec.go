@@ -1,0 +1,228 @@
+package query
+
+import (
+	"fmt"
+
+	"pangea/internal/core"
+	"pangea/internal/services"
+)
+
+// ScanHint tunes how a ScanSpec executes.
+type ScanHint int
+
+const (
+	// HintNone lets the scan use every optimization it can see.
+	HintNone ScanHint = iota
+	// HintNoPrune evaluates the predicate against every row but never
+	// consults zone maps — the baseline side of page-skipping experiments,
+	// and an escape hatch if a summary is ever suspected stale.
+	HintNoPrune
+)
+
+// ScanSpec is the unified scan entry point: one declarative description —
+// which set, how many worker threads, what predicate — that drives the row
+// path (Run/Iter) and the batch path (RunBatches and friends) identically.
+//
+// Because the predicate is algebraic rather than an opaque closure, the
+// scan prunes before it reads: if the set carries a zone map (see
+// services.AttachZoneMap / EnsureZoneMap), pages the predicate provably
+// cannot match are dropped from the page list up front — never pinned,
+// never read — and masked out of the prefetch window, so the drives only
+// speculate on pages the scan will consume. On a selective scan of a
+// clustered column that is most of the set; on an unselective one the
+// prune pass costs a map lookup per page and changes nothing.
+//
+// The zero value of everything but Set is usable: Threads defaults to 1, a
+// nil Pred scans every row, and Schema is derived from the set's column
+// widths for columnar sets (row sets need an explicit Schema only when Pred
+// is non-nil).
+type ScanSpec struct {
+	Set     *core.LocalitySet
+	Threads int
+	// Pred filters rows declaratively; nil keeps every row.
+	Pred Predicate
+	// Schema describes the record layout Pred's column indices address.
+	// Optional for columnar sets (the set knows its widths); required for
+	// row sets when Pred is non-nil.
+	Schema []services.ColumnSpec
+	Hint   ScanHint
+}
+
+func (sp ScanSpec) threads() int {
+	if sp.Threads < 1 {
+		return 1
+	}
+	return sp.Threads
+}
+
+// schema resolves the record layout Pred compiles against.
+func (sp ScanSpec) schema() ([]services.ColumnSpec, error) {
+	if sp.Schema != nil {
+		return sp.Schema, nil
+	}
+	if widths := sp.Set.ColumnWidths(); widths != nil {
+		specs := make([]services.ColumnSpec, len(widths))
+		off := 0
+		for i, w := range widths {
+			specs[i] = services.ColumnSpec{Width: w, Offset: off}
+			off += w
+		}
+		return specs, nil
+	}
+	if sp.Pred == nil {
+		return nil, nil
+	}
+	return nil, fmt.Errorf("query: predicate scan over row set %q needs ScanSpec.Schema", sp.Set.Name())
+}
+
+// compile validates the predicate against the schema and returns its row
+// closure (nil when there is no predicate).
+func (sp ScanSpec) compile() (func(Row) bool, error) {
+	if sp.Pred == nil {
+		return nil, nil
+	}
+	schema, err := sp.schema()
+	if err != nil {
+		return nil, err
+	}
+	return sp.Pred.compileRow(schema)
+}
+
+// pages runs the prune pass: the page list the scan will visit, plus a
+// cleanup that must run when the scan ends. With a predicate, pruning
+// allowed, and a zone map attached to the set, pages the predicate excludes
+// are dropped from the list and masked out of the set's prefetch window for
+// the scan's duration (the filter is a set-wide hint; concurrent predicate
+// scans of one set may briefly mask each other's speculation, never their
+// demand reads). Every evaluated page counts toward the set's
+// ZoneMapChecks, every dropped one toward ZoneMapSkips.
+func (sp ScanSpec) pages() ([]int64, func()) {
+	all := sp.Set.PageNums()
+	if sp.Pred == nil || sp.Hint == HintNoPrune {
+		return all, func() {}
+	}
+	stats, ok := sp.Set.SideIndex().(PruneStats)
+	if !ok {
+		return all, func() {}
+	}
+	kept := make([]int64, 0, len(all))
+	for _, num := range all {
+		if !sp.Pred.prune(stats, num) {
+			kept = append(kept, num)
+		}
+	}
+	sp.Set.NoteZoneMap(int64(len(all)), int64(len(all)-len(kept)))
+	if len(kept) == len(all) {
+		return all, func() {}
+	}
+	keep := make(map[int64]bool, len(kept))
+	for _, num := range kept {
+		keep[num] = true
+	}
+	set := sp.Set
+	set.SetPrefetchFilter(func(num int64) bool { return keep[num] })
+	return kept, func() { set.SetPrefetchFilter(nil) }
+}
+
+// Run streams every matching row to fn, which may be called from Threads
+// goroutines (one per page-iterator stripe). Rows alias pinned pages and
+// are invalid after fn returns.
+func (sp ScanSpec) Run(fn func(thread int, row Row) error) error {
+	match, err := sp.compile()
+	if err != nil {
+		return err
+	}
+	nums, done := sp.pages()
+	defer done()
+	if match == nil {
+		return services.ScanPages(sp.Set, nums, sp.threads(), fn)
+	}
+	return services.ScanPages(sp.Set, nums, sp.threads(), func(t int, rec []byte) error {
+		if !match(rec) {
+			return nil
+		}
+		return fn(t, rec)
+	})
+}
+
+// Iter adapts the scan to the push-based operator pipeline, predicate
+// already applied.
+func (sp ScanSpec) Iter() Iter {
+	return func(emit func(Row) error) error {
+		return sp.Run(func(_ int, r Row) error { return emit(r) })
+	}
+}
+
+// RunBatches streams a columnar set batch-at-a-time; each batch arrives
+// with its selection already narrowed to the predicate's matches (pages the
+// zone map pruned never arrive at all).
+func (sp ScanSpec) RunBatches(fn func(thread int, b *Batch) error) error {
+	// compileRow doubles as predicate-vs-schema validation for the batch
+	// path; the closure itself is unused here.
+	if _, err := sp.compile(); err != nil {
+		return err
+	}
+	nums, done := sp.pages()
+	defer done()
+	if sp.Pred == nil {
+		return scanBatchesOver(sp.Set, nums, sp.threads(), fn)
+	}
+	return scanBatchesOver(sp.Set, nums, sp.threads(), func(t int, b *Batch) error {
+		if err := sp.Pred.applyBatch(b); err != nil {
+			return err
+		}
+		return fn(t, b)
+	})
+}
+
+// AggBatches runs the scan-filter-aggregate pipeline under the spec's
+// predicate: filter (nil allowed) further narrows each batch after the
+// predicate — the residual for shapes the algebra doesn't express — and
+// spec folds the survivors into one merged result map.
+func (sp ScanSpec) AggBatches(filter func(*Batch), spec BatchAggSpec) (map[string][]byte, error) {
+	n := sp.threads()
+	maps := make([]map[string][]byte, n)
+	keys := make([][]byte, n)
+	err := sp.RunBatches(func(t int, b *Batch) error {
+		if filter != nil {
+			filter(b)
+		}
+		if maps[t] == nil {
+			maps[t] = make(map[string][]byte)
+		}
+		keys[t] = AggBatch(b, spec, maps[t], keys[t])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte)
+	for _, m := range maps {
+		for k, v := range m {
+			if old, ok := out[k]; ok {
+				spec.Combine(old, v)
+			} else {
+				out[k] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// CountBatches counts the rows the predicate (and optional residual filter)
+// keeps.
+func (sp ScanSpec) CountBatches(filter func(*Batch)) (int64, error) {
+	counts := make([]int64, sp.threads())
+	err := sp.RunBatches(func(t int, b *Batch) error {
+		if filter != nil {
+			filter(b)
+		}
+		counts[t] += int64(b.Selected())
+		return nil
+	})
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total, err
+}

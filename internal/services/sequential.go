@@ -26,6 +26,13 @@ type SeqWriter struct {
 	// (WriteAll, the cluster data proxy, query.Materialize) writes
 	// whichever layout the set was created with.
 	cw *ColumnarWriter
+
+	// OnAppend, when set, is called after each record lands in a row page,
+	// with the page's number and the record bytes — the row-path append
+	// hook zone maps fold per-page summaries through, the counterpart of
+	// ColumnarWriter.OnSeal. Not called for columnar sets (attach to the
+	// seal hook instead; AttachZoneMap wires whichever applies).
+	OnAppend func(pageNum int64, rec []byte)
 }
 
 // NewSeqWriter attaches a sequential allocator to the set.
@@ -60,6 +67,9 @@ func (w *SeqWriter) Add(rec []byte) error {
 		if ok {
 			w.off = next
 			w.n++
+			if w.OnAppend != nil {
+				w.OnAppend(w.page.Num(), rec)
+			}
 			return nil
 		}
 		if err := w.set.Unpin(w.page, true); err != nil {
@@ -109,13 +119,20 @@ type PageIterator struct {
 // its own stripe, so the drives read tomorrow's pages while the worker
 // computes over today's — pin misses on a warm window become hits.
 func PageIterators(set *core.LocalitySet, n int) []*PageIterator {
+	return PageIteratorsFor(set, set.PageNums(), n)
+}
+
+// PageIteratorsFor is PageIterators over an explicit page list — the entry
+// point for predicate scans whose zone map already pruned some pages: the
+// stripes, and therefore every read-ahead hint they issue, cover only the
+// listed pages.
+func PageIteratorsFor(set *core.LocalitySet, all []int64, n int) []*PageIterator {
 	if n < 1 {
 		n = 1
 	}
 	set.SetReading(core.SequentialRead)
 	set.SetCurrentOp(core.OpRead)
 	ra := set.ReadAhead()
-	all := set.PageNums()
 	iters := make([]*PageIterator, n)
 	for k := 0; k < n; k++ {
 		var nums []int64
@@ -161,7 +178,14 @@ func (it *PageIterator) Release(p *core.Page) error { return it.set.Unpin(p, fal
 // page iterators — the long-living worker-thread model of Fig 2, where each
 // worker pulls pages in a loop rather than scheduling one task per block.
 func ScanSet(set *core.LocalitySet, numThreads int, fn func(thread int, rec []byte) error) error {
-	iters := PageIterators(set, numThreads)
+	return ScanPages(set, set.PageNums(), numThreads, fn)
+}
+
+// ScanPages is ScanSet restricted to an explicit page list — the row-scan
+// substrate for predicate pushdown, where the query layer's zone-map prune
+// has already dropped pages no matching row can live in.
+func ScanPages(set *core.LocalitySet, nums []int64, numThreads int, fn func(thread int, rec []byte) error) error {
+	iters := PageIteratorsFor(set, nums, numThreads)
 	var wg sync.WaitGroup
 	errCh := make(chan error, numThreads)
 	for t, it := range iters {

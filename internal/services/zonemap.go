@@ -1,0 +1,588 @@
+package services
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"pangea/internal/core"
+)
+
+// Zone maps are per-page column summaries — min/max per fixed-width column,
+// plus an optional small bloom filter per designated equality column — that
+// the predicate scan consults *before* pinning a page: a page whose summary
+// proves no row can match is skipped with zero I/O and zero pin traffic.
+// They are built incrementally as records are appended (the columnar
+// writer's seal hook or the row writer's append hook; see AttachZoneMap),
+// persisted as a compact per-set side object in pfs, and rebuilt by one full
+// scan when the side object is absent or stale — so seed sets keep working.
+//
+// A zone map is valid only for append-once sets (the write pattern every
+// Pangea set has today: load then scan). Summaries are conservative: a page
+// without one is simply never pruned.
+
+// ZoneMapTag is the pfs side-object name zone maps persist under.
+const ZoneMapTag = "zmap"
+
+// ZoneMapsDefault reports whether scans should build zone maps by default,
+// controlled by the PANGEA_ZONEMAPS=1 environment toggle (CI runs the
+// query/tpch/services suites under both values).
+func ZoneMapsDefault() bool { return os.Getenv("PANGEA_ZONEMAPS") == "1" }
+
+// ZoneMapSpec describes what a zone map summarizes: the fixed-width column
+// schema (offsets address the row-record form; for columnar sets the widths
+// must match the set's column widths exactly, in order), and which columns
+// additionally get a per-page bloom filter for equality pruning. Columns
+// whose width is not 1/2/4/8 (payload blobs, packed strings) are carried
+// for shape but never summarized — predicates on them simply never prune.
+type ZoneMapSpec struct {
+	Schema    []ColumnSpec
+	BloomCols []int
+}
+
+// bloomBytes is the fixed per-page, per-column bloom size: 256 bits with
+// two probes — at the few hundred distinct values a page holds, small
+// enough to keep the whole side object a handful of KiB and selective
+// enough to prune point lookups on non-clustered key columns.
+const bloomBytes = 32
+
+// bloomProbes mixes a column value into its two bloom bit positions.
+func bloomProbes(v uint64) (uint32, uint32) {
+	h := v * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return uint32(h) & (bloomBytes*8 - 1), uint32(h>>32) & (bloomBytes*8 - 1)
+}
+
+func bloomSet(b []byte, v uint64) {
+	p, q := bloomProbes(v)
+	b[p>>3] |= 1 << (p & 7)
+	b[q>>3] |= 1 << (q & 7)
+}
+
+func bloomHas(b []byte, v uint64) bool {
+	p, q := bloomProbes(v)
+	return b[p>>3]&(1<<(p&7)) != 0 && b[q>>3]&(1<<(q&7)) != 0
+}
+
+// zonePage is one page's summary. minU/maxU are the unsigned interpretation
+// of every column; minF/maxF the float64 interpretation of 8-byte columns
+// (NaN = no valid float summary, so float prune checks never fire — NaN
+// comparisons are false). An invalid page (a row shorter than the schema was
+// appended) keeps its slot so coverage checks still pass, but never prunes.
+type zonePage struct {
+	rows   int64
+	valid  bool
+	minU   []uint64
+	maxU   []uint64
+	minF   []float64
+	maxF   []float64
+	blooms [][]byte // parallel to spec.BloomCols
+}
+
+// ZoneMap holds the per-page summaries of one locality set.
+type ZoneMap struct {
+	widths    []int
+	offsets   []int
+	tracked   []bool // width is 1/2/4/8: the column is summarized
+	rowSize   int    // bytes of record prefix the schema addresses
+	bloomCols []int  // sorted column indices with blooms
+	bloomPos  map[int]int
+
+	mu    sync.RWMutex
+	pages map[int64]*zonePage
+}
+
+// NewZoneMap builds an empty zone map for the given spec.
+func NewZoneMap(spec ZoneMapSpec) (*ZoneMap, error) {
+	if len(spec.Schema) == 0 {
+		return nil, fmt.Errorf("services: zone map needs a schema")
+	}
+	z := &ZoneMap{
+		widths:   make([]int, len(spec.Schema)),
+		offsets:  make([]int, len(spec.Schema)),
+		tracked:  make([]bool, len(spec.Schema)),
+		bloomPos: make(map[int]int),
+		pages:    make(map[int64]*zonePage),
+	}
+	for i, c := range spec.Schema {
+		if c.Width <= 0 {
+			return nil, fmt.Errorf("services: zone map column %d has width %d", i, c.Width)
+		}
+		if c.Offset < 0 {
+			return nil, fmt.Errorf("services: zone map column %d has offset %d", i, c.Offset)
+		}
+		switch c.Width {
+		case 1, 2, 4, 8:
+			z.tracked[i] = true
+		}
+		z.widths[i], z.offsets[i] = c.Width, c.Offset
+		if end := c.Offset + c.Width; end > z.rowSize {
+			z.rowSize = end
+		}
+	}
+	for _, c := range spec.BloomCols {
+		if c < 0 || c >= len(spec.Schema) {
+			return nil, fmt.Errorf("services: zone map bloom column %d out of range [0,%d)", c, len(spec.Schema))
+		}
+		if !z.tracked[c] {
+			return nil, fmt.Errorf("services: zone map bloom column %d has width %d, want 1/2/4/8", c, z.widths[c])
+		}
+		if _, dup := z.bloomPos[c]; dup {
+			continue
+		}
+		z.bloomPos[c] = len(z.bloomCols)
+		z.bloomCols = append(z.bloomCols, c)
+	}
+	return z, nil
+}
+
+// matches reports whether the map was built for exactly this spec.
+func (z *ZoneMap) matches(spec ZoneMapSpec) bool {
+	if len(spec.Schema) != len(z.widths) || len(z.bloomCols) != len(z.bloomPos) {
+		return false
+	}
+	for i, c := range spec.Schema {
+		if z.widths[i] != c.Width || z.offsets[i] != c.Offset {
+			return false
+		}
+	}
+	seen := 0
+	for _, c := range spec.BloomCols {
+		if _, ok := z.bloomPos[c]; !ok {
+			return false
+		}
+		seen++
+	}
+	return seen == len(z.bloomCols)
+}
+
+// page returns (creating if asked) the summary slot for pageNum. Caller
+// holds z.mu.
+func (z *ZoneMap) page(num int64, create bool) *zonePage {
+	p := z.pages[num]
+	if p == nil && create {
+		p = &zonePage{
+			valid:  true,
+			minU:   make([]uint64, len(z.widths)),
+			maxU:   make([]uint64, len(z.widths)),
+			minF:   make([]float64, len(z.widths)),
+			maxF:   make([]float64, len(z.widths)),
+			blooms: make([][]byte, len(z.bloomCols)),
+		}
+		for i := range p.minF {
+			p.minF[i] = math.NaN()
+			p.maxF[i] = math.NaN()
+		}
+		for i := range p.blooms {
+			p.blooms[i] = make([]byte, bloomBytes)
+		}
+		z.pages[num] = p
+	}
+	return p
+}
+
+// noteValue folds one column value into a page summary. Caller holds z.mu.
+func (z *ZoneMap) noteValue(p *zonePage, col int, u uint64, first bool) {
+	if first || u < p.minU[col] {
+		p.minU[col] = u
+	}
+	if first || u > p.maxU[col] {
+		p.maxU[col] = u
+	}
+	if z.widths[col] == 8 {
+		f := math.Float64frombits(u)
+		switch {
+		case math.IsNaN(f):
+			// Poison the float interpretation: a NaN is unordered, so no
+			// min/max statement about this page's floats can be trusted.
+			p.minF[col] = math.NaN()
+			p.maxF[col] = math.NaN()
+		case first:
+			p.minF[col], p.maxF[col] = f, f
+		case !math.IsNaN(p.minF[col]):
+			if f < p.minF[col] {
+				p.minF[col] = f
+			}
+			if f > p.maxF[col] {
+				p.maxF[col] = f
+			}
+		}
+	}
+	if bi, ok := z.bloomPos[col]; ok {
+		bloomSet(p.blooms[bi], u)
+	}
+}
+
+// readU reads column col's unsigned value out of a row record.
+func (z *ZoneMap) readU(rec []byte, col int) uint64 {
+	off := z.offsets[col]
+	switch z.widths[col] {
+	case 1:
+		return uint64(rec[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(rec[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(rec[off:]))
+	default:
+		return binary.LittleEndian.Uint64(rec[off:])
+	}
+}
+
+// NoteAppend folds one appended row record into page pageNum's summary —
+// the SeqWriter.OnAppend hook. A record shorter than the schema's footprint
+// invalidates the page's summary (it stays covered, but never prunes).
+func (z *ZoneMap) NoteAppend(pageNum int64, rec []byte) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	p := z.page(pageNum, true)
+	if len(rec) < z.rowSize {
+		p.valid = false
+		return
+	}
+	if !p.valid {
+		return
+	}
+	first := p.rows == 0
+	for c := range z.widths {
+		if !z.tracked[c] {
+			continue
+		}
+		z.noteValue(p, c, z.readU(rec, c), first)
+	}
+	p.rows++
+}
+
+// NoteColumnarPage folds one sealed columnar page into its summary — the
+// ColumnarWriter.OnSeal hook, and the vectorized path of rebuilds: each
+// column's min/max is a tight loop over its contiguous segment.
+func (z *ZoneMap) NoteColumnarPage(pageNum int64, cp *ColumnarPage) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	p := z.page(pageNum, true)
+	n := cp.NumRows()
+	if cp.NumCols() != len(z.widths) || n == 0 {
+		if cp.NumCols() != len(z.widths) {
+			p.valid = false
+		}
+		return
+	}
+	// Re-sealing the same page (Close after its last Add already sealed it)
+	// restates the same rows; each column's first value restarts its summary
+	// rather than double-folding.
+	for c, w := range z.widths {
+		if cp.Width(c) != w {
+			p.valid = false
+			return
+		}
+		if !z.tracked[c] {
+			continue
+		}
+		seg := cp.Col(c)
+		for i := 0; i < n; i++ {
+			var u uint64
+			switch w {
+			case 1:
+				u = uint64(seg[i])
+			case 2:
+				u = uint64(binary.LittleEndian.Uint16(seg[i*2:]))
+			case 4:
+				u = uint64(binary.LittleEndian.Uint32(seg[i*4:]))
+			default:
+				u = binary.LittleEndian.Uint64(seg[i*8:])
+			}
+			z.noteValue(p, c, u, i == 0)
+		}
+	}
+	p.rows = int64(n)
+}
+
+// NumPages returns how many pages have summaries.
+func (z *ZoneMap) NumPages() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.pages)
+}
+
+// Covers reports whether every page 0..n-1 has a summary slot — the
+// staleness check EnsureZoneMap applies against the set's page count.
+func (z *ZoneMap) Covers(n int64) bool {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	if int64(len(z.pages)) < n {
+		return false
+	}
+	for i := int64(0); i < n; i++ {
+		if z.pages[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// The three accessors below are the prune surface the query layer's
+// predicate algebra consults (query.PruneStats). All are conservative:
+// ok=false / true means "cannot exclude the page".
+
+// ColRangeU returns column col's [min,max] under the unsigned
+// interpretation for page pageNum.
+func (z *ZoneMap) ColRangeU(pageNum int64, col int) (lo, hi uint64, ok bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	p := z.pages[pageNum]
+	if p == nil || !p.valid || p.rows == 0 || col < 0 || col >= len(z.widths) || !z.tracked[col] {
+		return 0, 0, false
+	}
+	return p.minU[col], p.maxU[col], true
+}
+
+// ColRangeF64 returns column col's [min,max] under the float64
+// interpretation for page pageNum; ok is false for non-8-byte columns and
+// for pages whose floats include a NaN.
+func (z *ZoneMap) ColRangeF64(pageNum int64, col int) (lo, hi float64, ok bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	p := z.pages[pageNum]
+	if p == nil || !p.valid || p.rows == 0 || col < 0 || col >= len(z.widths) || z.widths[col] != 8 || !z.tracked[col] {
+		return 0, 0, false
+	}
+	if math.IsNaN(p.minF[col]) {
+		return 0, 0, false
+	}
+	return p.minF[col], p.maxF[col], true
+}
+
+// MayContain reports whether page pageNum may hold value v in column col:
+// false only when the min/max range — or the column's bloom, if it has one —
+// proves it cannot.
+func (z *ZoneMap) MayContain(pageNum int64, col int, v uint64) bool {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	p := z.pages[pageNum]
+	if p == nil || !p.valid || p.rows == 0 || col < 0 || col >= len(z.widths) || !z.tracked[col] {
+		return true
+	}
+	if v < p.minU[col] || v > p.maxU[col] {
+		return false
+	}
+	if bi, ok := z.bloomPos[col]; ok {
+		return bloomHas(p.blooms[bi], v)
+	}
+	return true
+}
+
+// --- persistence -------------------------------------------------------------
+
+const (
+	zoneMapMagic   = 0x504D5A47 // "GZMP"
+	zoneMapVersion = 1
+
+	zpValid = 1 // flags bit: page summary is usable for pruning
+)
+
+// Marshal serializes the map as the compact side object: a versioned header
+// carrying the schema shape (so a stale or reshaped map is rejected on
+// load), then one fixed-size record per page.
+func (z *ZoneMap) Marshal() []byte {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	nums := make([]int64, 0, len(z.pages))
+	for n := range z.pages {
+		nums = append(nums, n)
+	}
+	// Insertion order is append order; serialize sorted for determinism.
+	for i := 1; i < len(nums); i++ {
+		for j := i; j > 0 && nums[j] < nums[j-1]; j-- {
+			nums[j], nums[j-1] = nums[j-1], nums[j]
+		}
+	}
+	perPage := 8 + 8 + 8 + 32*len(z.widths) + bloomBytes*len(z.bloomCols)
+	buf := make([]byte, 0, 40+16*len(z.widths)+8*len(z.bloomCols)+perPage*len(nums))
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(zoneMapMagic)
+	put(zoneMapVersion)
+	put(uint64(len(z.widths)))
+	put(uint64(len(z.bloomCols)))
+	put(uint64(len(nums)))
+	for i := range z.widths {
+		put(uint64(z.widths[i]))
+		put(uint64(z.offsets[i]))
+	}
+	for _, c := range z.bloomCols {
+		put(uint64(c))
+	}
+	for _, n := range nums {
+		p := z.pages[n]
+		put(uint64(n))
+		put(uint64(p.rows))
+		flags := uint64(0)
+		if p.valid {
+			flags |= zpValid
+		}
+		put(flags)
+		for c := range z.widths {
+			put(p.minU[c])
+			put(p.maxU[c])
+			put(math.Float64bits(p.minF[c]))
+			put(math.Float64bits(p.maxF[c]))
+		}
+		for _, b := range p.blooms {
+			buf = append(buf, b...)
+		}
+	}
+	return buf
+}
+
+// LoadZoneMap parses a serialized zone map and verifies it was built for
+// spec; a mismatch (schema evolved, bloom columns changed) is an error so
+// callers rebuild instead of pruning against stale shapes.
+func LoadZoneMap(data []byte, spec ZoneMapSpec) (*ZoneMap, error) {
+	z, err := NewZoneMap(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 40 {
+		return nil, fmt.Errorf("services: zone map side object truncated (%d bytes)", len(data))
+	}
+	off := 0
+	get := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v
+	}
+	if get() != zoneMapMagic {
+		return nil, fmt.Errorf("services: bad zone map magic")
+	}
+	if v := get(); v != zoneMapVersion {
+		return nil, fmt.Errorf("services: unsupported zone map version %d", v)
+	}
+	ncols, nbloom, npages := int(get()), int(get()), int(get())
+	need := 40 + 16*ncols + 8*nbloom + npages*(24+32*ncols+bloomBytes*nbloom)
+	if ncols != len(z.widths) || nbloom != len(z.bloomCols) || len(data) < need {
+		return nil, fmt.Errorf("services: zone map shape mismatch (%d cols, %d blooms, %d bytes)", ncols, nbloom, len(data))
+	}
+	for i := 0; i < ncols; i++ {
+		if w, o := int(get()), int(get()); w != z.widths[i] || o != z.offsets[i] {
+			return nil, fmt.Errorf("services: zone map column %d is %d@%d, spec wants %d@%d", i, w, o, z.widths[i], z.offsets[i])
+		}
+	}
+	for i := 0; i < nbloom; i++ {
+		if c := int(get()); c != z.bloomCols[i] {
+			return nil, fmt.Errorf("services: zone map bloom columns differ from spec")
+		}
+	}
+	for i := 0; i < npages; i++ {
+		num := int64(get())
+		p := z.page(num, true)
+		p.rows = int64(get())
+		p.valid = get()&zpValid != 0
+		for c := 0; c < ncols; c++ {
+			p.minU[c] = get()
+			p.maxU[c] = get()
+			p.minF[c] = math.Float64frombits(get())
+			p.maxF[c] = math.Float64frombits(get())
+		}
+		for b := 0; b < nbloom; b++ {
+			copy(p.blooms[b], data[off:off+bloomBytes])
+			off += bloomBytes
+		}
+	}
+	return z, nil
+}
+
+// Save persists the map as the set's zone-map side object.
+func (z *ZoneMap) Save(set *core.LocalitySet) error {
+	return set.WriteSideObject(ZoneMapTag, z.Marshal())
+}
+
+// --- wiring ------------------------------------------------------------------
+
+// AttachZoneMap wires incremental zone-map maintenance into a sequential
+// writer: columnar sets hook the page-seal callback (vectorized per-segment
+// min/max, computed while the sealed page is still pinned), row sets hook
+// the per-record append callback. The map is registered as the set's side
+// index so predicate scans find it; call Save after the writer closes to
+// persist it.
+func AttachZoneMap(w *SeqWriter, spec ZoneMapSpec) (*ZoneMap, error) {
+	z, err := NewZoneMap(spec)
+	if err != nil {
+		return nil, err
+	}
+	if w.cw != nil {
+		widths := w.set.ColumnWidths()
+		if len(widths) != len(z.widths) {
+			return nil, fmt.Errorf("services: zone map schema has %d columns, columnar set %q has %d",
+				len(z.widths), w.set.Name(), len(widths))
+		}
+		for i, cw := range widths {
+			if z.widths[i] != cw {
+				return nil, fmt.Errorf("services: zone map column %d width %d, columnar set %q stores %d",
+					i, z.widths[i], w.set.Name(), cw)
+			}
+		}
+		w.cw.OnSeal = z.NoteColumnarPage
+	} else {
+		w.OnAppend = z.NoteAppend
+	}
+	w.set.SetSideIndex(z)
+	return z, nil
+}
+
+// EnsureZoneMap returns a usable zone map for the set: the attached one if
+// it matches the spec and covers every page; else the persisted side object
+// if it parses against the spec and covers every page; else a fresh rebuild
+// by one full scan (vectorized over columnar pages, record-walked over row
+// pages), persisted and attached before returning — absent or stale side
+// objects on seed sets heal here.
+func EnsureZoneMap(set *core.LocalitySet, spec ZoneMapSpec) (*ZoneMap, error) {
+	n := set.NumPages()
+	if z, ok := set.SideIndex().(*ZoneMap); ok && z.matches(spec) && z.Covers(n) {
+		return z, nil
+	}
+	if data, err := set.ReadSideObject(ZoneMapTag); err == nil {
+		if z, err := LoadZoneMap(data, spec); err == nil && z.Covers(n) {
+			set.SetSideIndex(z)
+			return z, nil
+		}
+	}
+	z, err := NewZoneMap(spec)
+	if err != nil {
+		return nil, err
+	}
+	for num := int64(0); num < n; num++ {
+		p, err := set.Pin(num)
+		if err != nil {
+			return nil, err
+		}
+		buf := p.Bytes()
+		if IsColumnarPage(buf) {
+			var view ColumnarPage
+			if err = view.Reset(buf); err == nil {
+				z.NoteColumnarPage(num, &view)
+			}
+		} else {
+			err = WalkPage(buf, func(rec []byte) error {
+				z.NoteAppend(num, rec)
+				return nil
+			})
+		}
+		if uerr := set.Unpin(p, false); err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("services: rebuild zone map of %q: %w", set.Name(), err)
+		}
+	}
+	if err := z.Save(set); err != nil {
+		return nil, err
+	}
+	set.SetSideIndex(z)
+	return z, nil
+}

@@ -66,7 +66,9 @@ func addF64s(dst, src []byte) {
 
 // q01Batch is Q01 over columnar lineitem: per node, a batch pipeline
 // (shipdate selection kernel → five-metric fold over selected lanes into
-// per-thread partial maps), merged across nodes like any aggregate.
+// per-thread partial maps), merged across nodes like any aggregate. The
+// predicate is the same q01Pred the row plan uses — here it compiles to
+// the selection kernels and, with zone maps on, the page prune.
 func (r *Runner) q01Batch() (Result, error) {
 	spec := query.BatchAggSpec{
 		Key: func(b *query.Batch, row int, dst []byte) []byte {
@@ -89,9 +91,7 @@ func (r *Runner) q01Batch() (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return query.AggBatches(s, r.Threads, func(b *query.Batch) {
-			b.SelU16Range(LiColShipDate, 0, Q01Cutoff+1)
-		}, spec)
+		return query.ScanSpec{Set: s, Threads: r.Threads, Pred: q01Pred()}.AggBatches(nil, spec)
 	}, spec.Combine)
 	if err != nil {
 		return nil, err
@@ -118,11 +118,7 @@ func (r *Runner) q06Batch() (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return query.AggBatches(s, r.Threads, func(b *query.Batch) {
-			b.SelU16Range(LiColShipDate, Q06Lo, Q06Hi)
-			b.SelF64Range(LiColDiscount, 0.05-1e-9, 0.07+1e-9)
-			b.SelU32Range(LiColQuantity, 0, 24)
-		}, spec)
+		return query.ScanSpec{Set: s, Threads: r.Threads, Pred: q06Pred()}.AggBatches(nil, spec)
 	}, spec.Combine)
 	if err != nil {
 		return nil, err

@@ -63,6 +63,38 @@ func LoadLayout(e *query.Executor, d *Data, pageSize int64, layout core.PageLayo
 			return fmt.Errorf("tpch: load %s: %w", name, err)
 		}
 	}
+	if services.ZoneMapsDefault() {
+		return EnsureLineitemZoneMaps(e)
+	}
+	return nil
+}
+
+// LineitemZoneSpec is the zone-map shape the benchmark's selective queries
+// prune against: min/max over every lineitem column (the date and quantity
+// ranges of Q01/Q06/Q12/Q14), plus a bloom on shipmode for Q12's equality
+// disjunction.
+func LineitemZoneSpec() services.ZoneMapSpec {
+	return services.ZoneMapSpec{
+		Schema:    LineitemSchema(),
+		BloomCols: []int{LiColShipMode},
+	}
+}
+
+// EnsureLineitemZoneMaps builds (or reloads from the persisted side
+// object) a zone map for every node's lineitem partition — one full scan
+// per partition the first time, a side-object read after. Load calls this
+// under the PANGEA_ZONEMAPS toggle; callers with their own deployments can
+// invoke it directly.
+func EnsureLineitemZoneMaps(e *query.Executor) error {
+	for node := range e.Workers {
+		s, err := e.Set(node, "lineitem")
+		if err != nil {
+			return err
+		}
+		if _, err := services.EnsureZoneMap(s, LineitemZoneSpec()); err != nil {
+			return fmt.Errorf("tpch: zone map for lineitem on node %d: %w", node, err)
+		}
+	}
 	return nil
 }
 

@@ -61,13 +61,90 @@ func (r *Runner) Run(q string) (Result, error) {
 
 // scan streams one node's partition of a set.
 func (r *Runner) scan(node int, set string) query.Iter {
+	return r.scanPred(node, set, nil, nil)
+}
+
+// scanPred streams one node's partition through the predicate scan API:
+// pred pushes down to the row closure, to the batch kernels on columnar
+// sets, and — when the set carries a zone map — to the page prune, so a
+// selective query never reads pages its filter excludes. schema describes
+// the record layout pred's column indices address (nil derives it for
+// columnar sets; row sets with a nil pred don't need one).
+func (r *Runner) scanPred(node int, set string, schema []services.ColumnSpec, pred query.Predicate) query.Iter {
 	return func(emit func(query.Row) error) error {
 		s, err := r.E.Set(node, set)
 		if err != nil {
 			return err
 		}
-		return query.Scan(s, r.Threads)(emit)
+		return query.ScanSpec{Set: s, Threads: r.Threads, Pred: pred, Schema: schema}.Iter()(emit)
 	}
+}
+
+// --- declarative benchmark filters -------------------------------------------
+//
+// The selective scans below express their filters in the predicate algebra,
+// one definition driving the row closure, the columnar kernels, and the
+// zone-map prune. Cross-column comparisons (Q04/Q12's commit-vs-receipt
+// dates) stay RowPred residuals under an And: they cannot prune, but the
+// algebraic siblings still can.
+
+func q01Pred() query.Predicate {
+	return query.ColRange{Col: LiColShipDate, Lo: 0, Hi: uint64(Q01Cutoff) + 1}
+}
+
+func q06Pred() query.Predicate {
+	return query.And{
+		query.ColRange{Col: LiColShipDate, Lo: uint64(Q06Lo), Hi: uint64(Q06Hi)},
+		query.ColRangeF64{Col: LiColDiscount, Lo: 0.05 - 1e-9, Hi: 0.07 + 1e-9},
+		query.ColRange{Col: LiColQuantity, Lo: 0, Hi: 24},
+	}
+}
+
+func q04LiPred() query.Predicate {
+	return query.RowPred(func(row query.Row) bool {
+		l := DecodeLineitem(row)
+		return l.CommitDate < l.ReceiptDate
+	})
+}
+
+func q12LiPred() query.Predicate {
+	return query.And{
+		query.Or{
+			query.ColEq{Col: LiColShipMode, V: uint64(Q12ModeA)},
+			query.ColEq{Col: LiColShipMode, V: uint64(Q12ModeB)},
+		},
+		query.ColRange{Col: LiColReceiptDate, Lo: uint64(Q12Lo), Hi: uint64(Q12Hi)},
+		query.RowPred(func(row query.Row) bool {
+			l := DecodeLineitem(row)
+			return l.CommitDate < l.ReceiptDate && l.ShipDate < l.CommitDate
+		}),
+	}
+}
+
+func q14LiPred() query.Predicate {
+	return query.ColRange{Col: LiColShipDate, Lo: uint64(Q14Lo), Hi: uint64(Q14Hi)}
+}
+
+// ordersPredSchema exposes the two orders columns the benchmark filters on
+// to the predicate algebra; the rest of the record stays decode-accessed.
+func ordersPredSchema() []services.ColumnSpec {
+	return []services.ColumnSpec{
+		{Name: "o_orderdate", Width: 2, Offset: 17},
+		{Name: "o_special", Width: 1, Offset: 28},
+	}
+}
+
+const (
+	ordColOrderDate = 0
+	ordColSpecial   = 1
+)
+
+func q04OrdPred() query.Predicate {
+	return query.ColRange{Col: ordColOrderDate, Lo: uint64(Q04Lo), Hi: uint64(Q04Hi)}
+}
+
+func q13OrdPred() query.Predicate {
+	return query.ColEq{Col: ordColSpecial, V: 0}
 }
 
 // tempName mints a unique temp set name.
@@ -78,20 +155,18 @@ func (r *Runner) tempName(tag string) string {
 // input resolves a join input: in replica mode the statistics service
 // supplies the replica partitioned under scheme; otherwise the (filtered)
 // source is repartitioned at runtime onto a temp set — the shuffle a
-// layered engine cannot avoid. cleanup drops any temp set.
-func (r *Runner) input(table, scheme string, key func(query.Row) []byte, filter func(query.Iter) query.Iter) (string, func(), error) {
+// layered engine cannot avoid. src supplies each node's (typically
+// predicate-filtered) source stream; nil scans the whole table. cleanup
+// drops any temp set.
+func (r *Runner) input(table, scheme string, key func(query.Row) []byte, src func(node int) query.Iter) (string, func(), error) {
 	if r.UseReplicas {
 		if set, ok := r.E.ChooseReplica(table, scheme); ok {
 			return set, func() {}, nil
 		}
 	}
 	tmp := r.tempName(table)
-	src := func(node int) query.Iter {
-		it := r.scan(node, table)
-		if filter != nil {
-			it = filter(it)
-		}
-		return it
+	if src == nil {
+		src = func(node int) query.Iter { return r.scan(node, table) }
 	}
 	if err := r.E.Exchange(tmp, src, key, r.PageSize); err != nil {
 		return "", nil, err
@@ -184,9 +259,7 @@ func (r *Runner) Q01() (Result, error) {
 			v[4] = 1
 		})
 	m, err := r.E.DistributedAggregate("q01", func(node int) query.Iter {
-		return query.Filter(r.scan(node, "lineitem"), func(row query.Row) bool {
-			return LShipDate(row) <= Q01Cutoff
-		})
+		return r.scanPred(node, "lineitem", LineitemSchema(), q01Pred())
 	}, spec)
 	if err != nil {
 		return nil, err
@@ -315,11 +388,8 @@ func (r *Runner) Q02() (Result, error) {
 func (r *Runner) Q04() (Result, error) {
 	liSet, liClean, err := r.input("lineitem", SchemeLOrderKey,
 		func(row query.Row) []byte { return LOrderKey(row) },
-		func(in query.Iter) query.Iter {
-			return query.Filter(in, func(row query.Row) bool {
-				l := DecodeLineitem(row)
-				return l.CommitDate < l.ReceiptDate
-			})
+		func(node int) query.Iter {
+			return r.scanPred(node, "lineitem", LineitemSchema(), q04LiPred())
 		})
 	if err != nil {
 		return nil, err
@@ -327,11 +397,8 @@ func (r *Runner) Q04() (Result, error) {
 	defer liClean()
 	ordSet, ordClean, err := r.input("orders", SchemeOOrderKey,
 		func(row query.Row) []byte { return OOrderKey(row) },
-		func(in query.Iter) query.Iter {
-			return query.Filter(in, func(row query.Row) bool {
-				d := OOrderDate(row)
-				return d >= Q04Lo && d < Q04Hi
-			})
+		func(node int) query.Iter {
+			return r.scanPred(node, "orders", ordersPredSchema(), q04OrdPred())
 		})
 	if err != nil {
 		return nil, err
@@ -347,19 +414,13 @@ func (r *Runner) Q04() (Result, error) {
 	m, err := r.E.DistributedAggregate("q04", func(node int) query.Iter {
 		return func(emit func(query.Row) error) error {
 			h, err := r.buildMap(node, "q04map",
-				query.Filter(r.scan(node, liSet), func(row query.Row) bool {
-					l := DecodeLineitem(row)
-					return l.CommitDate < l.ReceiptDate
-				}),
+				r.scanPred(node, liSet, LineitemSchema(), q04LiPred()),
 				func(row query.Row) []byte { return LOrderKey(row) })
 			if err != nil {
 				return err
 			}
 			defer h.drop()
-			probe := query.Filter(r.scan(node, ordSet), func(row query.Row) bool {
-				d := OOrderDate(row)
-				return d >= Q04Lo && d < Q04Hi
-			})
+			probe := r.scanPred(node, ordSet, ordersPredSchema(), q04OrdPred())
 			return query.SemiJoin(probe, h.m, func(row query.Row) []byte { return OOrderKey(row) })(emit)
 		}
 	}, spec2)
@@ -382,13 +443,7 @@ func (r *Runner) Q06() (Result, error) {
 			v[0] = LExtendedPrice(row) * LDiscount(row)
 		})
 	m, err := r.E.DistributedAggregate("q06", func(node int) query.Iter {
-		return query.Filter(r.scan(node, "lineitem"), func(row query.Row) bool {
-			d := LShipDate(row)
-			disc := LDiscount(row)
-			return d >= Q06Lo && d < Q06Hi &&
-				disc >= 0.05-1e-9 && disc <= 0.07+1e-9 &&
-				LQuantity(row) < 24
-		})
+		return r.scanPred(node, "lineitem", LineitemSchema(), q06Pred())
 	}, spec)
 	if err != nil {
 		return nil, err
@@ -401,18 +456,11 @@ func (r *Runner) Q06() (Result, error) {
 // Q12 joins filtered lineitems with orders on orderkey and counts
 // high/low-priority lines per shipmode.
 func (r *Runner) Q12() (Result, error) {
-	liFilter := func(in query.Iter) query.Iter {
-		return query.Filter(in, func(row query.Row) bool {
-			l := DecodeLineitem(row)
-			if l.ShipMode != Q12ModeA && l.ShipMode != Q12ModeB {
-				return false
-			}
-			return l.CommitDate < l.ReceiptDate && l.ShipDate < l.CommitDate &&
-				l.ReceiptDate >= Q12Lo && l.ReceiptDate < Q12Hi
-		})
-	}
 	liSet, liClean, err := r.input("lineitem", SchemeLOrderKey,
-		func(row query.Row) []byte { return LOrderKey(row) }, liFilter)
+		func(row query.Row) []byte { return LOrderKey(row) },
+		func(node int) query.Iter {
+			return r.scanPred(node, "lineitem", LineitemSchema(), q12LiPred())
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +484,8 @@ func (r *Runner) Q12() (Result, error) {
 		})
 	m, err := r.E.DistributedAggregate("q12", func(node int) query.Iter {
 		return func(emit func(query.Row) error) error {
-			h, err := r.buildMap(node, "q12map", liFilter(r.scan(node, liSet)),
+			h, err := r.buildMap(node, "q12map",
+				r.scanPred(node, liSet, LineitemSchema(), q12LiPred()),
 				func(row query.Row) []byte { return LOrderKey(row) })
 			if err != nil {
 				return err
@@ -468,8 +517,8 @@ func (r *Runner) Q12() (Result, error) {
 func (r *Runner) Q13() (Result, error) {
 	ordSet, ordClean, err := r.input("orders", SchemeOCustKey,
 		func(row query.Row) []byte { return OCustKey(row) },
-		func(in query.Iter) query.Iter {
-			return query.Filter(in, func(row query.Row) bool { return row[28] == 0 })
+		func(node int) query.Iter {
+			return r.scanPred(node, "orders", ordersPredSchema(), q13OrdPred())
 		})
 	if err != nil {
 		return nil, err
@@ -479,7 +528,7 @@ func (r *Runner) Q13() (Result, error) {
 	spec := f64Spec(1, func(row query.Row) []byte { return OCustKey(row) },
 		func(row query.Row, v []float64) { v[0] = 1 })
 	counts, err := r.E.DistributedAggregate("q13", func(node int) query.Iter {
-		return query.Filter(r.scan(node, ordSet), func(row query.Row) bool { return row[28] == 0 })
+		return r.scanPred(node, ordSet, ordersPredSchema(), q13OrdPred())
 	}, spec)
 	if err != nil {
 		return nil, err
@@ -521,14 +570,11 @@ func (r *Runner) Q13() (Result, error) {
 // Q14 joins one ship-month of lineitem with part on partkey and computes
 // the promo revenue share.
 func (r *Runner) Q14() (Result, error) {
-	liFilter := func(in query.Iter) query.Iter {
-		return query.Filter(in, func(row query.Row) bool {
-			d := LShipDate(row)
-			return d >= Q14Lo && d < Q14Hi
-		})
-	}
 	liSet, liClean, err := r.input("lineitem", SchemeLPartKey,
-		func(row query.Row) []byte { return LPartKey(row) }, liFilter)
+		func(row query.Row) []byte { return LPartKey(row) },
+		func(node int) query.Iter {
+			return r.scanPred(node, "lineitem", LineitemSchema(), q14LiPred())
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -556,7 +602,7 @@ func (r *Runner) Q14() (Result, error) {
 				return err
 			}
 			defer h.drop()
-			joined := query.HashJoin(liFilter(r.scan(node, liSet)), h.m,
+			joined := query.HashJoin(r.scanPred(node, liSet, LineitemSchema(), q14LiPred()), h.m,
 				func(row query.Row) []byte { return LPartKey(row) },
 				func(li, part query.Row) query.Row {
 					out := make(query.Row, 9)
