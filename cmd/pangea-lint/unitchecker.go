@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"pangea/internal/lint"
+)
+
+// vetConfig mirrors the JSON configuration file cmd/go's vet driver writes
+// for each package unit (the x/tools unitchecker wire format).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package unit described by a vet config file and
+// exits with the protocol's status codes: 0 clean, 2 diagnostics found,
+// 1 on tool failure.
+func runVetUnit(cfgPath string) {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pangea-lint: %v\n", err)
+		os.Exit(1)
+	}
+	// The driver expects a facts file for every unit, dependencies
+	// included, before it will run downstream units. The Pangea analyzers
+	// are fact-free, so an empty file satisfies the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "pangea-lint: writing facts: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+	// The vet driver also hands us test units (the test-augmented package
+	// variant and the external _test package). The Pangea invariants are
+	// scoped to production code — tests drop cleanup errors and take
+	// shortcuts deliberately, and standalone mode only loads non-test
+	// files — so skip any unit that compiles _test.go files.
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			return
+		}
+	}
+
+	pkg, err := typecheckUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "pangea-lint: %s: %v\n", cfg.ImportPath, err)
+		os.Exit(1)
+	}
+	diags, err := lint.RunAnalyzers(pkg, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pangea-lint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// typecheckUnit parses and type-checks the unit from the files and export
+// data the vet driver supplied.
+func typecheckUnit(cfg *vetConfig) (*lint.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	pkg := &lint.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files}
+	var firstErr error
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return pkg, nil
+}

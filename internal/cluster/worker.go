@@ -9,6 +9,7 @@ import (
 
 	"pangea/internal/core"
 	"pangea/internal/disk"
+	"pangea/internal/locking"
 	"pangea/internal/services"
 )
 
@@ -47,7 +48,7 @@ type Worker struct {
 	// mu guards only the maps below; each setWriter carries its own lock so
 	// record appends to different locality sets proceed in parallel, the
 	// same per-set granularity the buffer pool itself uses.
-	mu      sync.RWMutex
+	mu      locking.RWMutex
 	writers map[string]*setWriter
 	pinned  map[string]map[int64]*core.Page // pages pinned via PinPageReq
 	closed  bool
@@ -59,7 +60,7 @@ type Worker struct {
 // lock that serializes appends to it (SeqWriter is single-threaded by
 // design: one writer per page, §8).
 type setWriter struct {
-	mu sync.Mutex
+	mu locking.Mutex
 	wr *services.SeqWriter
 }
 
@@ -96,6 +97,7 @@ func NewWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 		writers: make(map[string]*setWriter),
 		pinned:  make(map[string]map[int64]*core.Page),
 	}
+	w.mu.Init(locking.RankWorker)
 	w.wg.Add(1)
 	go w.serve()
 	return w, nil
@@ -223,6 +225,7 @@ func (w *Worker) writerFor(name string) (*setWriter, error) {
 	sw, ok = w.writers[name]
 	if !ok {
 		sw = &setWriter{wr: services.NewSeqWriter(set)}
+		sw.mu.Init(locking.RankSetWriter)
 		w.writers[name] = sw
 	}
 	return sw, nil

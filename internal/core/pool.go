@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pangea/internal/disk"
+	"pangea/internal/locking"
 	"pangea/internal/memory"
 	"pangea/internal/numa"
 	"pangea/internal/pfs"
@@ -150,7 +151,7 @@ type BufferPool struct {
 	alloc memory.Allocator
 	array *disk.Array
 
-	regMu    sync.RWMutex
+	regMu    locking.RWMutex
 	sets     map[SetID]*LocalitySet
 	byName   map[string]*LocalitySet
 	reserved map[string]bool // names mid-CreateSet, not yet in byName
@@ -234,6 +235,7 @@ func NewPool(cfg PoolConfig) (*BufferPool, error) {
 		byName:   make(map[string]*LocalitySet),
 		reserved: make(map[string]bool),
 	}
+	bp.regMu.Init(locking.RankRegistry)
 	bp.readAhead = cfg.ReadAhead
 	if bp.readAhead == 0 {
 		bp.readAhead = DefaultReadAheadPerDrive * cfg.Array.Len()
@@ -401,6 +403,7 @@ func (bp *BufferPool) CreateSet(spec SetSpec) (*LocalitySet, error) {
 		resident: make(map[int64]*Page),
 		loading:  make(map[int64]*loadOp),
 	}
+	s.mu.Init(locking.RankSet)
 	s.cond = sync.NewCond(&s.mu)
 	bp.regMu.Lock()
 	delete(bp.reserved, spec.Name)
@@ -464,7 +467,7 @@ func (bp *BufferPool) DropSet(s *LocalitySet) error {
 	// in-flight eviction was waited out above, so no page can be released
 	// twice. Add (not Store) keeps a double-release visible to the counter
 	// invariant the stress tests check.
-	s.residentBytes.Add(-int64(len(offs)) * s.pageSize)
+	s.releaseResident(int64(len(offs)) * s.pageSize)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -609,7 +612,7 @@ func (bp *BufferPool) allocMem(s *LocalitySet, size int64) (int64, error) {
 	// quota overshoot kicks the self-eviction round right here.
 	charge := func(off int64) (int64, error) {
 		bp.notePeak()
-		if res := s.residentBytes.Add(size); s.quota > 0 && res > s.quota {
+		if res := s.chargeResident(size); s.quota > 0 && res > s.quota {
 			e.kick()
 		}
 		return off, nil
@@ -625,8 +628,8 @@ func (bp *BufferPool) allocMem(s *LocalitySet, size int64) (int64, error) {
 	defer e.waiters.Add(-1)
 	// Count the blocked demand toward the set's fairness footprint (see
 	// LocalitySet.pendingBytes).
-	s.pendingBytes.Add(size)
-	defer s.pendingBytes.Add(-size)
+	s.chargePending(size)
+	defer s.releasePending(size)
 	timer := time.NewTimer(bp.cfg.AllocTimeout)
 	defer timer.Stop()
 	for {
@@ -693,10 +696,10 @@ func (bp *BufferPool) tryAllocMem(s *LocalitySet, size int64) (int64, error) {
 		return 0, err
 	}
 	bp.notePeak()
-	if res := s.residentBytes.Add(size); s.quota > 0 && res > s.quota {
+	if res := s.chargeResident(size); s.quota > 0 && res > s.quota {
 		// Lost a race against concurrent demand growth: undo rather than
 		// let speculation push the tenant over its cap.
-		s.residentBytes.Add(-size)
+		s.releaseResident(size)
 		bp.alloc.Free(off)
 		return 0, fmt.Errorf("%w: set %q at its %d-byte quota", errSpecQuota, s.name, s.quota)
 	}
@@ -890,7 +893,7 @@ func (bp *BufferPool) evictVictims(victims []PageRef) (int, error) {
 				bp.stats.PrefetchWasted.Add(1)
 			}
 			delete(s.resident, p.num)
-			s.residentBytes.Add(-p.size)
+			s.releaseResident(p.size)
 			offs = append(offs, p.off)
 		}
 		s.cond.Broadcast()

@@ -23,6 +23,7 @@ func NewArray(dir string, n int, cfg Config) (*Array, error) {
 	for i := 0; i < n; i++ {
 		d, err := Open(filepath.Join(dir, fmt.Sprintf("disk%d", i)), cfg)
 		if err != nil {
+			//lint:ignore errdrop best-effort cleanup of a half-built array; the Open error is the one the caller must see
 			a.RemoveAll()
 			return nil, err
 		}

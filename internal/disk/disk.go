@@ -13,9 +13,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"pangea/internal/locking"
 )
 
 // Config describes the performance envelope of one simulated drive.
@@ -52,7 +53,7 @@ type Disk struct {
 	cfg Config
 	dir string
 
-	mu        sync.Mutex
+	mu        locking.Mutex
 	busyUntil time.Time
 
 	reads, writes, bytesRead, bytesWritten atomic.Int64
@@ -71,7 +72,9 @@ func Open(dir string, cfg Config) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("disk: %w", err)
 	}
-	return &Disk{cfg: cfg, dir: dir}, nil
+	d := &Disk{cfg: cfg, dir: dir}
+	d.mu.Init(locking.RankDisk)
+	return d, nil
 }
 
 // Dir returns the drive's mount directory.

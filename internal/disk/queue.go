@@ -1,6 +1,10 @@
 package disk
 
-import "sync"
+import (
+	"sync"
+
+	"pangea/internal/locking"
+)
 
 // Queue is a bounded FIFO of I/O jobs bound to one drive. The eviction
 // daemon's spill pipeline attaches one Queue per Disk of an Array: jobs on
@@ -13,7 +17,7 @@ import "sync"
 // first Submit and exits once the queue drains, so an idle pipeline holds
 // no goroutines and a Queue never needs explicit shutdown.
 type Queue struct {
-	mu      sync.Mutex
+	mu      locking.Mutex
 	notFull *sync.Cond
 	jobs    []func()
 	limit   int
@@ -28,6 +32,7 @@ func NewQueue(limit int) *Queue {
 		limit = 1
 	}
 	q := &Queue{limit: limit}
+	q.mu.Init(locking.RankIOQueue)
 	q.notFull = sync.NewCond(&q.mu)
 	return q
 }

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GaugeField marks an atomic gauge whose mutations must flow through a
+// blessed set of charge/release helpers so every charge has a matching
+// release and the accounting stays greppable.
+type GaugeField struct {
+	PkgPath string
+	Type    string
+	Field   string
+	// Allowed lists the names of the functions/methods permitted to
+	// mutate the gauge (the blessed helpers themselves).
+	Allowed []string
+}
+
+// GaugeTable is the default gauge registry: the admission-control gauges
+// of internal/core, which PR 4 made load-bearing for fairness — a
+// mismatched Add corrupts entitlement math silently. Tests may append.
+var GaugeTable = []GaugeField{
+	{"pangea/internal/core", "LocalitySet", "residentBytes",
+		[]string{"chargeResident", "releaseResident"}},
+	{"pangea/internal/core", "LocalitySet", "pendingBytes",
+		[]string{"chargePending", "releasePending"}},
+	{"pangea/internal/core", "BufferPool", "loadStarved",
+		[]string{"noteStarved", "consumeStarved"}},
+}
+
+// mutatingMethods are the atomic methods that change a gauge's value;
+// loads stay unrestricted.
+var mutatingMethods = map[string]bool{
+	"Add": true, "Store": true, "Swap": true,
+	"CompareAndSwap": true, "And": true, "Or": true,
+}
+
+// GaugePair reports raw atomic mutations of registered gauge fields made
+// outside their blessed charge/release helpers.
+var GaugePair = &Analyzer{
+	Name: "gaugepair",
+	Doc: "flags raw atomic Add/Store on residency/pending/starved gauge fields " +
+		"outside the blessed charge/release helpers in internal/core",
+	Run: runGaugePair,
+}
+
+func gaugeFor(pkgPath, typ, field string) *GaugeField {
+	for i := range GaugeTable {
+		g := &GaugeTable[i]
+		if g.PkgPath == pkgPath && g.Type == typ && g.Field == field {
+			return g
+		}
+	}
+	return nil
+}
+
+func runGaugePair(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !mutatingMethods[sel.Sel.Name] {
+				return true
+			}
+			field, owner := fieldSelection(pass.TypesInfo, sel.X)
+			if field == nil || owner == nil {
+				return true
+			}
+			g := gaugeFor(pkgPathOf(field), owner.Obj().Name(), field.Name())
+			if g == nil {
+				return true
+			}
+			encl := enclosingFuncName(f, call)
+			for _, a := range g.Allowed {
+				if a == encl {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"raw %s on gauge %s.%s outside its blessed helpers (%v)",
+				sel.Sel.Name, owner.Obj().Name(), field.Name(), g.Allowed)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package lint implements pangea-lint: a small go/analysis-style framework
+// plus the analyzers that encode Pangea's hand-maintained invariants —
+// pin/unpin pairing, the global lock order, gauge mutation discipline, and
+// never-dropped I/O errors. The framework is deliberately self-contained
+// (go/ast + go/types + `go list` only, no external modules) so the linter
+// builds in the same sandbox as the tree it checks.
+//
+// Suppressions follow the staticcheck convention:
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// placed on the flagged line or on the line directly above it. The
+// justification is mandatory; an ignore directive without one does not
+// suppress anything.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked form to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full pangea-lint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{PinLeak, LockOrder, GaugePair, ErrDrop}
+}
+
+// RunAnalyzers applies every analyzer to pkg, returning findings with
+// suppressed diagnostics already removed and the rest sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+		}
+	}
+	diags = applySuppressions(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int // line the directive suppresses (its own, or the next)
+	analyzers map[string]bool
+}
+
+// parseIgnores extracts //lint:ignore directives from a file. A directive
+// suppresses matching diagnostics on the source line it shares (trailing
+// comment) or, when it sits on a line of its own, on the next line.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				// No justification: directive is inert by design.
+				continue
+			}
+			names := map[string]bool{}
+			for _, n := range strings.Split(fields[0], ",") {
+				names[n] = true
+			}
+			// A trailing comment suppresses its own line; a comment on a
+			// line of its own suppresses the next. Registering both lines
+			// covers either placement without tracking token layout.
+			pos := fset.Position(c.Pos())
+			line := pos.Line
+			out = append(out,
+				ignoreDirective{file: pos.Filename, line: line, analyzers: names},
+				ignoreDirective{file: pos.Filename, line: line + 1, analyzers: names})
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diags through the package's ignore directives.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var ignores []ignoreDirective
+	for _, f := range pkg.Files {
+		ignores = append(ignores, parseIgnores(pkg.Fset, f)...)
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	keep := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range ignores {
+			if ig.file == d.Pos.Filename && ig.line == d.Pos.Line &&
+				(ig.analyzers[d.Analyzer] || ig.analyzers["*"]) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			keep = append(keep, d)
+		}
+	}
+	return keep
+}

@@ -1,0 +1,140 @@
+// Package linttest runs lint analyzers over testdata packages and checks
+// their diagnostics against `// want "regex"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest: every line carrying a want
+// comment must produce diagnostics matching its regexes one-to-one, and no
+// unannotated diagnostics may appear.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pangea/internal/lint"
+)
+
+// wantKey addresses one source line.
+type wantKey struct {
+	file string
+	line int
+}
+
+// Run loads the package at pattern (relative to the calling test's
+// directory, e.g. "./testdata/src/pinleak") and applies the analyzers,
+// comparing diagnostics against the package's want comments.
+func Run(t *testing.T, pattern string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load("", pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("pattern %s matched %d packages, want 1", pattern, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("testdata does not type-check: %v", terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	diags, err := lint.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := parseWants(t, pkg)
+	matched := 0
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		res := wants[key]
+		hit := -1
+		for i, re := range res {
+			if re != nil && re.MatchString(d.Message) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer)
+			continue
+		}
+		res[hit] = nil // consume
+		matched++
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, re)
+			}
+		}
+	}
+	if matched == 0 {
+		t.Errorf("analyzer never fired on %s: every testdata package must contain flagged shapes", pattern)
+	}
+}
+
+// parseWants extracts want comments: `// want "re1" "re2"` attached to the
+// line the comment starts on.
+func parseWants(t *testing.T, pkg *lint.Package) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, q := range splitQuoted(t, pos.String(), rest) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, q, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted strings.
+func splitQuoted(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want comment near %q", at, s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated want string: %q", at, s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want string %q: %v", at, s[:end+1], err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no patterns", at)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Package errdrop is errdrop analyzer testdata. The test registers this
+// package's Spill/Flush/Close as must-check functions; Log stays
+// unregistered.
+package errdrop
+
+import "errors"
+
+type Writer struct{}
+
+func (w *Writer) Spill(page int64) error { return errors.New("spill failed") }
+func (w *Writer) Close() error           { return nil }
+
+func Flush() error { return nil }
+
+// Log is not in the rule set: its dropped error is fine.
+func Log() error { return nil }
+
+// --- clean shapes ---
+
+func goodChecked(w *Writer) error {
+	if err := w.Spill(1); err != nil {
+		return err
+	}
+	return Flush()
+}
+
+func goodExplicitDiscard(w *Writer) {
+	// An explicit blank assignment documents the drop; the analyzer leaves
+	// the escape hatch to the reviewer.
+	_ = w.Spill(2)
+}
+
+func goodUnregistered() {
+	Log()
+}
+
+// --- flagged shapes ---
+
+func badDropped(w *Writer) {
+	w.Spill(3) // want "error result of errdrop.Writer.Spill is discarded"
+}
+
+func badDroppedFunc() {
+	Flush() // want "error result of errdrop.Flush is discarded"
+}
+
+func badDeferred(w *Writer) {
+	defer w.Close() // want "error result of errdrop.Writer.Close is discarded \\(in deferred call\\)"
+	w.Spill(4)      // want "error result of errdrop.Writer.Spill is discarded"
+}
+
+func badGoroutine(w *Writer) {
+	go w.Spill(5) // want "error result of errdrop.Writer.Spill is discarded \\(in go statement\\)"
+}
+
+// --- suppression ---
+
+func suppressedDrop(w *Writer) {
+	//lint:ignore errdrop best-effort cleanup on an already-failing path
+	w.Spill(6)
+}

@@ -1,0 +1,55 @@
+// Package gaugepair is gaugepair analyzer testdata. The test registers
+// Tracker.resident with blessed helpers charge/release; raw mutations
+// elsewhere must be flagged, loads never.
+package gaugepair
+
+import "sync/atomic"
+
+type Tracker struct {
+	resident atomic.Int64
+	other    atomic.Int64 // unregistered: never flagged
+}
+
+// charge is a blessed helper.
+func (t *Tracker) charge(n int64) int64 { return t.resident.Add(n) }
+
+// release is a blessed helper.
+func (t *Tracker) release(n int64) { t.resident.Add(-n) }
+
+// --- clean shapes ---
+
+func goodViaHelpers(t *Tracker) {
+	t.charge(4096)
+	t.release(4096)
+}
+
+func goodLoad(t *Tracker) int64 {
+	return t.resident.Load() // loads are unrestricted
+}
+
+func goodOtherField(t *Tracker) {
+	t.other.Add(1) // not a registered gauge
+}
+
+// --- flagged shapes ---
+
+func badRawAdd(t *Tracker) {
+	t.resident.Add(4096) // want "raw Add on gauge Tracker.resident outside its blessed helpers"
+}
+
+func badRawStore(t *Tracker) {
+	t.resident.Store(0) // want "raw Store on gauge Tracker.resident outside its blessed helpers"
+}
+
+func badInClosure(t *Tracker) func() {
+	return func() {
+		t.resident.Add(-4096) // want "raw Add on gauge Tracker.resident outside its blessed helpers"
+	}
+}
+
+// --- suppression ---
+
+func suppressedReset(t *Tracker) {
+	//lint:ignore gaugepair test-only counter reset outside the charge/release pairing
+	t.resident.Store(0)
+}

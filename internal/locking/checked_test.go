@@ -1,0 +1,138 @@
+//go:build pangea_checks
+
+package locking
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mustPanic runs f and returns the recovered panic message, failing the
+// test if f completes without panicking.
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg, _ = r.(string)
+			} else {
+				t.Fatal("expected lock-order panic, got none")
+			}
+		}()
+		f()
+	}()
+	return msg
+}
+
+func TestInversionPanics(t *testing.T) {
+	var set, reg Mutex
+	set.Init(RankSet)
+	reg.Init(RankRegistry)
+
+	set.Lock()
+	msg := mustPanic(t, func() { reg.Lock() })
+	set.Unlock()
+	if !strings.Contains(msg, "lock order violation") ||
+		!strings.Contains(msg, "core.BufferPool.regMu") ||
+		!strings.Contains(msg, "core.LocalitySet.mu") {
+		t.Fatalf("panic message missing context: %q", msg)
+	}
+	if got := heldRanks(); len(got) != 0 {
+		t.Fatalf("held set not empty after panic+unlock: %v", got)
+	}
+
+	// The same pair in documented order is silent.
+	reg.Lock()
+	set.Lock()
+	set.Unlock()
+	reg.Unlock()
+}
+
+func TestSameRankPanics(t *testing.T) {
+	var a, b Mutex
+	a.Init(RankSet)
+	b.Init(RankSet)
+	a.Lock()
+	mustPanic(t, func() { b.Lock() })
+	a.Unlock()
+}
+
+func TestRecursiveRLockPanics(t *testing.T) {
+	var m RWMutex
+	m.Init(RankRegistry)
+	m.RLock()
+	mustPanic(t, func() { m.RLock() })
+	m.RUnlock()
+}
+
+func TestUnrankedIgnored(t *testing.T) {
+	var ranked, unranked Mutex
+	ranked.Init(RankDisk)
+	// unranked never Init'd: acquiring it while holding the highest rank
+	// must not trip the checker, in either order.
+	ranked.Lock()
+	unranked.Lock()
+	unranked.Unlock()
+	ranked.Unlock()
+	unranked.Lock()
+	ranked.Lock()
+	ranked.Unlock()
+	unranked.Unlock()
+}
+
+func TestTryLockInversionPanics(t *testing.T) {
+	var set, reg Mutex
+	set.Init(RankSet)
+	reg.Init(RankRegistry)
+	set.Lock()
+	mustPanic(t, func() { reg.TryLock() })
+	set.Unlock()
+}
+
+// TestHeldSetIsPerGoroutine: one goroutine holding a high rank must not
+// poison acquisitions of lower ranks on other goroutines.
+func TestHeldSetIsPerGoroutine(t *testing.T) {
+	var set, reg Mutex
+	set.Init(RankSet)
+	reg.Init(RankRegistry)
+
+	set.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		reg.Lock()
+		reg.Unlock()
+	}()
+	<-done
+	set.Unlock()
+}
+
+// TestCondWait checks that sync.Cond over a ranked Mutex keeps the held
+// set balanced across Wait's internal Unlock/Lock pair.
+func TestCondWait(t *testing.T) {
+	var m Mutex
+	m.Init(RankSet)
+	cond := sync.NewCond(&m)
+	ready := false
+
+	go func() {
+		m.Lock()
+		ready = true
+		m.Unlock()
+		cond.Broadcast()
+	}()
+
+	m.Lock()
+	for !ready {
+		cond.Wait()
+	}
+	if got := heldRanks(); len(got) != 1 || got[0] != RankSet {
+		t.Fatalf("held set after Wait = %v, want [RankSet]", got)
+	}
+	m.Unlock()
+	if got := heldRanks(); len(got) != 0 {
+		t.Fatalf("held set after Unlock = %v, want empty", got)
+	}
+}

@@ -1,0 +1,175 @@
+//go:build pangea_checks
+
+package locking
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Checked reports whether this build carries lock-order instrumentation.
+const Checked = true
+
+// Instrumented build: every ranked Lock/RLock first consults the calling
+// goroutine's held-lock set and panics if the acquisition would invert the
+// global order (any held rank >= the new rank). The held sets live in one
+// process-wide map keyed by goroutine id; the id is parsed from the first
+// line of runtime.Stack, which costs a few microseconds per operation —
+// acceptable for the -tags pangea_checks test build, unacceptable for
+// production, hence the build tag split.
+
+type heldLock struct {
+	key  any // *Mutex or *RWMutex identity, for release matching
+	rank Rank
+}
+
+var (
+	heldMu sync.Mutex
+	held   = make(map[uint64][]heldLock)
+)
+
+// goid returns the current goroutine's id by parsing the
+// "goroutine N [" header of its stack trace.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// checkAcquire panics if taking a lock of rank r would invert the order for
+// the current goroutine, and otherwise records it as held. The record is
+// made before the underlying Lock call blocks; that is safe because the
+// held set is only ever consulted by its own goroutine, which is about to
+// be parked in that very Lock call.
+func checkAcquire(r Rank, key any, op string) {
+	if r == RankNone {
+		return
+	}
+	gid := goid()
+	heldMu.Lock()
+	defer heldMu.Unlock()
+	for _, h := range held[gid] {
+		if h.rank >= r {
+			panic(fmt.Sprintf(
+				"pangea_checks: lock order violation: goroutine %d %s %v while holding %v",
+				gid, op, r, h.rank))
+		}
+	}
+	held[gid] = append(held[gid], heldLock{key: key, rank: r})
+}
+
+// noteRelease removes the most recent held record for key on the current
+// goroutine. A missing record (lock handed off across goroutines) is
+// ignored: the underlying sync primitives allow it, and Pangea has no such
+// pattern to enforce against.
+func noteRelease(r Rank, key any) {
+	if r == RankNone {
+		return
+	}
+	gid := goid()
+	heldMu.Lock()
+	defer heldMu.Unlock()
+	hs := held[gid]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].key == key {
+			hs = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	if len(hs) == 0 {
+		delete(held, gid)
+	} else {
+		held[gid] = hs
+	}
+}
+
+// heldRanks returns the ranks currently held by the calling goroutine, in
+// acquisition order. Test helper.
+func heldRanks() []Rank {
+	gid := goid()
+	heldMu.Lock()
+	defer heldMu.Unlock()
+	var out []Rank
+	for _, h := range held[gid] {
+		out = append(out, h.rank)
+	}
+	return out
+}
+
+// Mutex is the instrumented variant of the ranked mutual-exclusion lock;
+// see the !pangea_checks file for the API contract.
+type Mutex struct {
+	mu   sync.Mutex
+	rank Rank
+}
+
+// Init assigns the mutex's rank. Call once, before the mutex is shared.
+func (m *Mutex) Init(r Rank) { m.rank = r }
+
+// Lock locks m, panicking if the acquisition inverts the lock order.
+func (m *Mutex) Lock() {
+	checkAcquire(m.rank, m, "acquiring")
+	m.mu.Lock()
+}
+
+// Unlock unlocks m.
+func (m *Mutex) Unlock() {
+	m.mu.Unlock()
+	noteRelease(m.rank, m)
+}
+
+// TryLock tries to lock m and reports whether it succeeded. A successful
+// out-of-order TryLock still panics: Pangea has no order-breaking trylock
+// pattern, so any such acquisition is a bug.
+func (m *Mutex) TryLock() bool {
+	if !m.mu.TryLock() {
+		return false
+	}
+	checkAcquire(m.rank, m, "try-acquiring")
+	return true
+}
+
+// RWMutex is the instrumented variant of the ranked reader/writer lock.
+// Read locks participate in the order at the same rank as write locks:
+// a recursive RLock on one goroutine can deadlock against a pending
+// writer, so it is flagged like any other same-rank reacquisition.
+type RWMutex struct {
+	mu   sync.RWMutex
+	rank Rank
+}
+
+// Init assigns the mutex's rank. Call once, before the mutex is shared.
+func (m *RWMutex) Init(r Rank) { m.rank = r }
+
+// Lock locks m for writing, panicking on lock-order inversion.
+func (m *RWMutex) Lock() {
+	checkAcquire(m.rank, m, "acquiring")
+	m.mu.Lock()
+}
+
+// Unlock unlocks m for writing.
+func (m *RWMutex) Unlock() {
+	m.mu.Unlock()
+	noteRelease(m.rank, m)
+}
+
+// RLock locks m for reading, panicking on lock-order inversion.
+func (m *RWMutex) RLock() {
+	checkAcquire(m.rank, m, "read-acquiring")
+	m.mu.RLock()
+}
+
+// RUnlock unlocks m for reading.
+func (m *RWMutex) RUnlock() {
+	m.mu.RUnlock()
+	noteRelease(m.rank, m)
+}

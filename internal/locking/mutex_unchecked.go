@@ -1,0 +1,50 @@
+//go:build !pangea_checks
+
+package locking
+
+import "sync"
+
+// Checked reports whether this build carries lock-order instrumentation.
+const Checked = false
+
+// Mutex is a mutual-exclusion lock with an assigned rank in the global
+// lock order. In normal builds it is a zero-cost wrapper around
+// sync.Mutex; under -tags pangea_checks the instrumented variant panics
+// when a goroutine acquires it out of order. The zero Mutex is valid and
+// unranked; call Init at construction to place it in the order.
+type Mutex struct {
+	mu sync.Mutex
+}
+
+// Init assigns the mutex's rank. Call once, before the mutex is shared.
+func (m *Mutex) Init(r Rank) {}
+
+// Lock locks m.
+func (m *Mutex) Lock() { m.mu.Lock() }
+
+// Unlock unlocks m.
+func (m *Mutex) Unlock() { m.mu.Unlock() }
+
+// TryLock tries to lock m and reports whether it succeeded.
+func (m *Mutex) TryLock() bool { return m.mu.TryLock() }
+
+// RWMutex is a reader/writer lock with an assigned rank in the global
+// lock order; see Mutex.
+type RWMutex struct {
+	mu sync.RWMutex
+}
+
+// Init assigns the mutex's rank. Call once, before the mutex is shared.
+func (m *RWMutex) Init(r Rank) {}
+
+// Lock locks m for writing.
+func (m *RWMutex) Lock() { m.mu.Lock() }
+
+// Unlock unlocks m for writing.
+func (m *RWMutex) Unlock() { m.mu.Unlock() }
+
+// RLock locks m for reading.
+func (m *RWMutex) RLock() { m.mu.RLock() }
+
+// RUnlock unlocks m for reading.
+func (m *RWMutex) RUnlock() { m.mu.RUnlock() }

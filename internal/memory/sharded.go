@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
+	"pangea/internal/locking"
 	"pangea/internal/numa"
 )
 
@@ -84,7 +84,7 @@ type tlsfShard struct {
 	// the cached-offset set (double-free guard) and the cached-bytes total.
 	// Critical sections are a few map/slice operations, so the common
 	// NewPage/Free path of a shard's home sets is a near-lock-free pop/push.
-	cacheMu     sync.Mutex
+	cacheMu     locking.Mutex
 	classes     map[int64]*classStack
 	cachedSet   map[int64]struct{}
 	cachedBytes int64
@@ -196,14 +196,16 @@ func NewShardedTLSFNUMA(a *Arena, nshards int, topo numa.Topology, crossSteals *
 		}
 		node := i * nodes / n
 		s.nodeShards[node] = append(s.nodeShards[node], i)
-		s.shards = append(s.shards, &tlsfShard{
+		sh := &tlsfShard{
 			base:      base,
 			size:      size,
 			node:      node,
 			tlsf:      NewTLSF(a.View(base, size)),
 			classes:   make(map[int64]*classStack),
 			cachedSet: make(map[int64]struct{}),
-		})
+		}
+		sh.cacheMu.Init(locking.RankAllocCache)
+		s.shards = append(s.shards, sh)
 		if bind {
 			_ = topo.Bind(a.Slice(base, size), node) // best-effort placement
 		}

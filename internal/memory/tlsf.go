@@ -5,7 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"sync"
+
+	"pangea/internal/locking"
 )
 
 // TLSF is a two-level segregated fit allocator over an Arena. Pangea uses it
@@ -22,7 +23,7 @@ import (
 //	[o+16, o+24): next free block in class list (free blocks only)
 //	[o+24, o+32): previous free block in class list (free blocks only)
 type TLSF struct {
-	mu       sync.Mutex
+	mu       locking.Mutex
 	arena    *Arena
 	freeHead [64][slCount]int64 // head offset of each (fl, sl) free list, -1 empty
 	flBitmap uint64
@@ -45,6 +46,7 @@ var ErrOutOfMemory = errors.New("memory: out of buffer pool memory")
 // NewTLSF initialises a TLSF allocator owning the whole arena.
 func NewTLSF(a *Arena) *TLSF {
 	t := &TLSF{arena: a}
+	t.mu.Init(locking.RankAllocTLSF)
 	for fl := range t.freeHead {
 		for sl := range t.freeHead[fl] {
 			t.freeHead[fl][sl] = nullOffset

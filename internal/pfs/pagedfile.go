@@ -13,9 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"pangea/internal/disk"
+	"pangea/internal/locking"
 )
 
 // PageLoc records where a page image lives: which drive and the byte offset
@@ -43,7 +43,7 @@ type PagedFile struct {
 	pageSize int64
 	array    *disk.Array
 
-	mu    sync.Mutex
+	mu    locking.Mutex
 	data  []*disk.File          // one per drive
 	meta  *disk.File            // on drive 0
 	pages map[int64]PageLoc     // page number -> location
@@ -64,17 +64,18 @@ func Create(array *disk.Array, name string, pageSize int64) (*PagedFile, error) 
 		pages:    make(map[int64]PageLoc),
 		next:     make([]int64, array.Len()),
 	}
+	pf.mu.Init(locking.RankPFS)
 	for i := 0; i < array.Len(); i++ {
 		f, err := array.Disk(i).Create(name + ".data")
 		if err != nil {
-			pf.closeAll()
+			_ = pf.closeAll()
 			return nil, err
 		}
 		pf.data = append(pf.data, f)
 	}
 	meta, err := array.Disk(0).Create(name + ".meta")
 	if err != nil {
-		pf.closeAll()
+		_ = pf.closeAll()
 		return nil, err
 	}
 	pf.meta = meta
@@ -90,22 +91,23 @@ func Open(array *disk.Array, name string) (*PagedFile, error) {
 		pages: make(map[int64]PageLoc),
 		next:  make([]int64, array.Len()),
 	}
+	pf.mu.Init(locking.RankPFS)
 	for i := 0; i < array.Len(); i++ {
 		f, err := array.Disk(i).OpenFile(name + ".data")
 		if err != nil {
-			pf.closeAll()
+			_ = pf.closeAll()
 			return nil, err
 		}
 		pf.data = append(pf.data, f)
 	}
 	meta, err := array.Disk(0).OpenFile(name + ".meta")
 	if err != nil {
-		pf.closeAll()
+		_ = pf.closeAll()
 		return nil, err
 	}
 	pf.meta = meta
 	if err := pf.loadMeta(); err != nil {
-		pf.closeAll()
+		_ = pf.closeAll()
 		return nil, err
 	}
 	return pf, nil
@@ -386,18 +388,29 @@ func (pf *PagedFile) ReadSideObject(tag string) ([]byte, error) {
 	return buf, nil
 }
 
-func (pf *PagedFile) closeAll() {
+// closeAll closes every underlying file and returns the first close
+// error. Error-path callers discard the result deliberately (the original
+// error wins); Close propagates it, since a failed close of a written data
+// file can mean lost bytes.
+func (pf *PagedFile) closeAll() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
 	for _, f := range pf.data {
 		if f != nil {
-			f.Close()
+			keep(f.Close())
 		}
 	}
 	if pf.meta != nil {
-		pf.meta.Close()
+		keep(pf.meta.Close())
 	}
 	for _, f := range pf.sides {
-		f.Close()
+		keep(f.Close())
 	}
+	return first
 }
 
 // Close closes all underlying files after flushing the meta index.
@@ -405,8 +418,7 @@ func (pf *PagedFile) Close() error {
 	if err := pf.FlushMeta(); err != nil {
 		return err
 	}
-	pf.closeAll()
-	return nil
+	return pf.closeAll()
 }
 
 // Remove deletes the file instance from all drives. The data is gone; used

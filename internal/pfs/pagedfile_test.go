@@ -368,3 +368,26 @@ func TestLocateReadPageAt(t *testing.T) {
 		t.Fatal("ReadPageAt accepted an undersized buffer")
 	}
 }
+
+// TestClosePropagatesCloseError: Close must surface errors from closing the
+// underlying files (a failed close of a written data file can mean lost
+// bytes). A second Close hits already-closed files, the portable way to
+// force that path — before the pangea-lint errdrop fix, closeAll swallowed
+// these errors entirely.
+func TestClosePropagatesCloseError(t *testing.T) {
+	a := newArray(t, 2)
+	pf, err := Create(a, "closeme", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := pf.PlacePage(0)
+	if err := pf.WritePageAt(loc, 0, bytes.Repeat([]byte{7}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := pf.closeAll(); err == nil {
+		t.Fatal("closeAll on closed files returned nil, want error")
+	}
+}

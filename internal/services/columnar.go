@@ -127,13 +127,21 @@ func (p *ColumnarPage) Reset(buf []byte) error {
 		if w <= 0 {
 			return fmt.Errorf("services: columnar page column %d has width %d", c, w)
 		}
+		// capacity and w come off disk as full u32s, so their product can
+		// wrap even int64 (it is < 2^64, so a wrap always lands negative);
+		// bound each segment against the bytes that actually remain before
+		// committing the offset.
+		seg := int64(capacity) * int64(w)
+		if seg < 0 || seg > int64(len(buf))-int64(off) {
+			return fmt.Errorf("services: corrupt columnar page: column %d segment of %d*%d bytes at %d exceeds %d-byte page",
+				c, capacity, w, off, len(buf))
+		}
 		p.widths[c], p.offs[c] = w, off
 		rowSize += w
-		off += capacity * w
+		off += int(seg)
 	}
-	if nrows > capacity || off > len(buf) {
-		return fmt.Errorf("services: corrupt columnar page: %d/%d rows, segments end at %d of %d bytes",
-			nrows, capacity, off, len(buf))
+	if nrows > capacity {
+		return fmt.Errorf("services: corrupt columnar page: %d rows in a %d-row page", nrows, capacity)
 	}
 	p.buf, p.nrows, p.cap, p.rowSize = buf, nrows, capacity, rowSize
 	return nil

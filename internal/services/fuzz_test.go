@@ -1,0 +1,157 @@
+package services
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzZoneSpec is the fixed schema the zone-map fuzzer decodes against:
+// two columns (u64 key, u32 value) with a bloom filter on the key.
+func fuzzZoneSpec() ZoneMapSpec {
+	return ZoneMapSpec{
+		Schema:    MakeSchema([]string{"k", "v"}, []int{8, 4}),
+		BloomCols: []int{0},
+	}
+}
+
+// validColumnarSeed builds a well-formed two-column page with three rows.
+func validColumnarSeed() []byte {
+	widths := []int{4, 8}
+	buf := make([]byte, 256)
+	capacity := (len(buf) - columnarHeaderSize(len(widths))) / 12
+	initColumnarPage(buf, widths, capacity)
+	binary.LittleEndian.PutUint32(buf[8:12], 3) // nrows
+	return buf
+}
+
+// overflowColumnarSeed reproduces the segment-size overflow: one column of
+// width 0xFFFFFFFF in a page claiming 0xFFFFFFFF rows of capacity, whose
+// capacity*width product wraps a 64-bit int to a negative segment end.
+func overflowColumnarSeed() []byte {
+	buf := make([]byte, 64)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:4], columnarMagic)
+	le.PutUint32(buf[4:8], 1)         // ncols
+	le.PutUint32(buf[8:12], 3)        // nrows
+	le.PutUint32(buf[12:16], 1<<32-1) // capacity
+	le.PutUint32(buf[16:20], 1<<32-1) // width
+	return buf
+}
+
+// TestResetRejectsOverflowingSegments is the regression test for the
+// capacity*width int overflow: before the 64-bit bound, this page passed
+// validation with a wrapped segment end and Col(0) read far past the
+// buffer.
+func TestResetRejectsOverflowingSegments(t *testing.T) {
+	var p ColumnarPage
+	if err := p.Reset(overflowColumnarSeed()); err == nil {
+		t.Fatal("Reset accepted a page whose segment sizes overflow int64")
+	}
+}
+
+// FuzzColumnarPageReset throws arbitrary bytes at the columnar page
+// decoder: it must either reject the buffer or yield a view whose every
+// accessor stays in bounds.
+func FuzzColumnarPageReset(f *testing.F) {
+	f.Add(validColumnarSeed())
+	f.Add(overflowColumnarSeed())
+	f.Add([]byte{})
+	f.Add([]byte{0xC1, 0x07, 0x7C, 0xC0}) // magic only, header truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p ColumnarPage
+		if err := p.Reset(data); err != nil {
+			return
+		}
+		// The view parsed: exercise every zero-copy accessor. Any panic
+		// here is a decoder validation hole.
+		var row []byte
+		for c := 0; c < p.NumCols(); c++ {
+			seg := p.Col(c)
+			if len(seg) != p.NumRows()*p.Width(c) {
+				t.Fatalf("column %d: %d bytes for %d rows of width %d",
+					c, len(seg), p.NumRows(), p.Width(c))
+			}
+		}
+		for i := 0; i < p.NumRows(); i++ {
+			row = p.AppendRow(row[:0], i)
+			if len(row) != p.RowSize() {
+				t.Fatalf("row %d materialized to %d bytes, RowSize is %d", i, len(row), p.RowSize())
+			}
+		}
+	})
+}
+
+// validZoneMapSeed marshals a real two-page map under fuzzZoneSpec.
+func validZoneMapSeed(t testing.TB) []byte {
+	z, err := NewZoneMap(fuzzZoneSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 12)
+	for page := int64(0); page < 2; page++ {
+		for r := 0; r < 4; r++ {
+			binary.LittleEndian.PutUint64(rec[0:8], uint64(page*100+int64(r)))
+			binary.LittleEndian.PutUint32(rec[8:12], uint32(r))
+			z.NoteAppend(page, rec)
+		}
+	}
+	return z.Marshal()
+}
+
+// hugePageCountSeed reproduces the npages overflow: a shape-correct header
+// claiming 2^61 pages, whose need computation wrapped to a small number and
+// sent the decode loop off the end of the buffer.
+func hugePageCountSeed(t testing.TB) []byte {
+	data := validZoneMapSeed(t)
+	binary.LittleEndian.PutUint64(data[32:40], 1<<61)
+	return data
+}
+
+// TestLoadZoneMapRejectsHugePageCount is the regression test for the
+// npages size-computation overflow.
+func TestLoadZoneMapRejectsHugePageCount(t *testing.T) {
+	if _, err := LoadZoneMap(hugePageCountSeed(t), fuzzZoneSpec()); err == nil {
+		t.Fatal("LoadZoneMap accepted a map claiming 2^61 pages")
+	}
+}
+
+// TestZoneMapRoundTrip pins the happy path the fuzzer mutates from.
+func TestZoneMapRoundTrip(t *testing.T) {
+	z, err := LoadZoneMap(validZoneMapSeed(t), fuzzZoneSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NumPages() != 2 {
+		t.Fatalf("round-tripped map has %d pages, want 2", z.NumPages())
+	}
+	if lo, hi, ok := z.ColRangeU(1, 0); !ok || lo != 100 || hi != 103 {
+		t.Fatalf("page 1 key range = [%d,%d] ok=%v, want [100,103]", lo, hi, ok)
+	}
+}
+
+// FuzzLoadZoneMap throws arbitrary bytes at the zone-map side-object
+// decoder: it must either reject the buffer or return a usable map whose
+// query methods stay in bounds.
+func FuzzLoadZoneMap(f *testing.F) {
+	f.Add(validZoneMapSeed(f))
+	f.Add(hugePageCountSeed(f))
+	f.Add([]byte{})
+	f.Add(make([]byte, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		z, err := LoadZoneMap(data, fuzzZoneSpec())
+		if err != nil {
+			return
+		}
+		for n := int64(-1); n < 4; n++ {
+			z.Covers(n)
+			for c := 0; c < 2; c++ {
+				z.ColRangeU(n, c)
+				z.ColRangeF64(n, c)
+				z.MayContain(n, c, 42)
+			}
+		}
+		if len(z.Marshal()) == 0 && z.NumPages() > 0 {
+			t.Fatal("non-empty map marshaled to zero bytes")
+		}
+	})
+}

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"sync"
 
 	"pangea/internal/core"
+	"pangea/internal/locking"
 )
 
 // Zone maps are per-page column summaries — min/max per fixed-width column,
@@ -92,7 +92,7 @@ type ZoneMap struct {
 	bloomCols []int  // sorted column indices with blooms
 	bloomPos  map[int]int
 
-	mu    sync.RWMutex
+	mu    locking.RWMutex
 	pages map[int64]*zonePage
 }
 
@@ -108,6 +108,7 @@ func NewZoneMap(spec ZoneMapSpec) (*ZoneMap, error) {
 		bloomPos: make(map[int]int),
 		pages:    make(map[int64]*zonePage),
 	}
+	z.mu.Init(locking.RankZoneMap)
 	for i, c := range spec.Schema {
 		if c.Width <= 0 {
 			return nil, fmt.Errorf("services: zone map column %d has width %d", i, c.Width)
@@ -464,9 +465,21 @@ func LoadZoneMap(data []byte, spec ZoneMapSpec) (*ZoneMap, error) {
 		return nil, fmt.Errorf("services: unsupported zone map version %d", v)
 	}
 	ncols, nbloom, npages := int(get()), int(get()), int(get())
-	need := 40 + 16*ncols + 8*nbloom + npages*(24+32*ncols+bloomBytes*nbloom)
-	if ncols != len(z.widths) || nbloom != len(z.bloomCols) || len(data) < need {
+	if ncols != len(z.widths) || nbloom != len(z.bloomCols) {
 		return nil, fmt.Errorf("services: zone map shape mismatch (%d cols, %d blooms, %d bytes)", ncols, nbloom, len(data))
+	}
+	// The page count comes off disk as a full u64: bound it against the
+	// bytes actually present before it enters any size arithmetic, so a
+	// corrupt count can neither overflow the need computation nor drive
+	// the decode loop past the buffer.
+	fixed := 40 + 16*ncols + 8*nbloom
+	if len(data) < fixed {
+		return nil, fmt.Errorf("services: zone map schema section truncated (%d of %d bytes)", len(data), fixed)
+	}
+	perPage := 24 + 32*ncols + bloomBytes*nbloom
+	maxPages := (len(data) - fixed) / perPage
+	if npages < 0 || npages > maxPages {
+		return nil, fmt.Errorf("services: zone map claims %d pages, %d bytes hold at most %d", npages, len(data), maxPages)
 	}
 	for i := 0; i < ncols; i++ {
 		if w, o := int(get()), int(get()); w != z.widths[i] || o != z.offsets[i] {
