@@ -122,6 +122,11 @@ func BenchmarkS10Columnar(b *testing.B) { runExperiment(b, "s10") }
 // scan sweep with page skipping on vs off, warm and cold, 1 and 4 drives.
 func BenchmarkS11ZoneMap(b *testing.B) { runExperiment(b, "s11") }
 
+// BenchmarkS12Microindex regenerates the microindex experiment: point
+// lookups on a non-clustered key column with posting lists vs zone-map
+// blooms alone vs no pruning, warm and cold.
+func BenchmarkS12Microindex(b *testing.B) { runExperiment(b, "s12") }
+
 // BenchmarkBatchScan is the batch-vs-row scan microbenchmark: one warm
 // pass of a 10%-selectivity scan-filter-sum over the same records in both
 // layouts. The row variant walks record framing and emits every row

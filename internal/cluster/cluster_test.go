@@ -278,8 +278,10 @@ func TestSetStats(t *testing.T) {
 		t.Errorf("wire reports spills=%d loads=%d, pool reports %d/%d",
 			st.SpillWrites, st.LoadReads, set.SpillWrites(), set.LoadReads())
 	}
-	// The zone-map gauges travel too: bump them on the set and re-ask.
+	// The zone-map and microindex gauges travel too: bump them on the set
+	// and re-ask.
 	set.NoteZoneMap(10, 4)
+	set.NoteMicroindex(10, 2)
 	st, err = cl.SetStats(w.Addr(), "s")
 	if err != nil {
 		t.Fatal(err)
@@ -289,12 +291,20 @@ func TestSetStats(t *testing.T) {
 		t.Errorf("wire reports zone-map checks=%d skips=%d, set reports %d/%d (want nonzero, equal)",
 			st.ZoneMapChecks, st.ZoneMapSkips, set.ZoneMapChecks(), set.ZoneMapSkips())
 	}
+	if st.IndexChecks != set.IndexChecks() || st.IndexHits != set.IndexHits() ||
+		st.IndexChecks == 0 || st.IndexHits == 0 {
+		t.Errorf("wire reports index checks=%d hits=%d, set reports %d/%d (want nonzero, equal)",
+			st.IndexChecks, st.IndexHits, set.IndexChecks(), set.IndexHits())
+	}
 	nst, err := cl.NodeStats(w.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if nst.ZoneMapChecks != 10 || nst.ZoneMapSkips != 4 {
 		t.Errorf("node-wide zone-map gauges = %d/%d, want the set's 10/4 aggregated", nst.ZoneMapChecks, nst.ZoneMapSkips)
+	}
+	if nst.IndexChecks != 10 || nst.IndexHits != 2 {
+		t.Errorf("node-wide microindex gauges = %d/%d, want the set's 10/2 aggregated", nst.IndexChecks, nst.IndexHits)
 	}
 }
 

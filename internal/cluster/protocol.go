@@ -171,7 +171,12 @@ type SetStatsResp struct {
 	// subset pruned without any pin or read.
 	ZoneMapChecks int64
 	ZoneMapSkips  int64
-	Err           string
+	// IndexChecks and IndexHits are the microindex gauges: pages point
+	// lookups evaluated through the set's microindex, and the candidates
+	// the postings kept.
+	IndexChecks int64
+	IndexHits   int64
+	Err         string
 }
 
 // NodeStatsReq asks a worker for its buffer pool's NUMA placement gauges.
@@ -193,9 +198,12 @@ type NodeStatsResp struct {
 	PrefetchWasted   int64
 	LoadsInFlight    int64
 	// ZoneMapChecks and ZoneMapSkips aggregate the page-skipping gauges
-	// over every set in the worker's pool.
+	// over every set in the worker's pool; IndexChecks and IndexHits do
+	// the same for the microindex gauges.
 	ZoneMapChecks int64
 	ZoneMapSkips  int64
+	IndexChecks   int64
+	IndexHits     int64
 	Err           string
 }
 

@@ -481,6 +481,8 @@ func (w *Worker) handleSetStats(req SetStatsReq) SetStatsResp {
 		LoadReads:     set.LoadReads(),
 		ZoneMapChecks: set.ZoneMapChecks(),
 		ZoneMapSkips:  set.ZoneMapSkips(),
+		IndexChecks:   set.IndexChecks(),
+		IndexHits:     set.IndexHits(),
 	}
 }
 
@@ -500,5 +502,7 @@ func (w *Worker) handleNodeStats(req NodeStatsReq) NodeStatsResp {
 		LoadsInFlight:    stats.LoadsInFlight.Load(),
 		ZoneMapChecks:    stats.ZoneMapChecks.Load(),
 		ZoneMapSkips:     stats.ZoneMapSkips.Load(),
+		IndexChecks:      stats.IndexChecks.Load(),
+		IndexHits:        stats.IndexHits.Load(),
 	}
 }

@@ -81,6 +81,11 @@ type SetSnapshot struct {
 	// set's zone map, and the subset pruned without any pin or I/O.
 	ZoneMapChecks int64
 	ZoneMapSkips  int64
+	// IndexChecks and IndexHits are the set's lifetime microindex gauges at
+	// snapshot time: pages point-lookup scans evaluated against the set's
+	// microindex, and the candidate subset the index kept.
+	IndexChecks int64
+	IndexHits   int64
 	// Evictable lists the set's pages that were evictable at snapshot time:
 	// resident, unpinned, and not already being evicted. Empty for sets
 	// whose Location attribute pins them in memory.
@@ -256,6 +261,8 @@ func (bp *BufferPool) snapshot() *PolicyView {
 			TotalPages:    s.nextNum,
 			ZoneMapChecks: s.zmChecks.Load(),
 			ZoneMapSkips:  s.zmSkips.Load(),
+			IndexChecks:   s.idxChecks.Load(),
+			IndexHits:     s.idxHits.Load(),
 			set:           s,
 			quota:         s.quota,
 		}

@@ -127,6 +127,18 @@ type PoolStats struct {
 	// Bumped through LocalitySet.NoteZoneMap by the query layer.
 	ZoneMapChecks atomic.Int64
 	ZoneMapSkips  atomic.Int64
+	// IndexChecks counts pages a point-lookup scan evaluated against a
+	// set's microindex; IndexHits counts the candidate subset the index
+	// kept — checks minus hits is the pages dropped before the zone-map
+	// pass, any pin, or any I/O. Bumped through LocalitySet.NoteMicroindex
+	// by the query layer.
+	IndexChecks atomic.Int64
+	IndexHits   atomic.Int64
+	// SideObjectRebuilds counts persisted side objects (zone maps,
+	// microindexes) that were present but unusable — torn by a crash
+	// mid-write, or undecodable — and were healed by a full-scan rebuild.
+	// Absent side objects (seed sets) rebuild without bumping it.
+	SideObjectRebuilds atomic.Int64
 }
 
 // ErrNoEvictable is returned when an allocation cannot be satisfied because

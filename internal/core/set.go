@@ -56,6 +56,12 @@ type LocalitySet struct {
 	// by NoteZoneMap from the query layer's predicate scans.
 	zmChecks atomic.Int64
 	zmSkips  atomic.Int64
+	// idxChecks counts pages a point-lookup scan evaluated against this
+	// set's microindex; idxHits the candidate pages the index kept — the
+	// rest never reached the zone-map pass, a pin, or a drive. Bumped by
+	// NoteMicroindex from the query layer's predicate scans.
+	idxChecks atomic.Int64
+	idxHits   atomic.Int64
 
 	// mu guards everything below, plus the mutable fields of this set's
 	// Pages. Each set has its own lock so Pin/Unpin/NewPage traffic on
@@ -74,11 +80,12 @@ type LocalitySet struct {
 	nextNum    int64
 	lastAccess int64 // AccessRecency: tick of the set's last page access
 	dropped    bool
-	// sideIndex is an opaque scan-side summary attached to the set (the
-	// services zone map; core cannot name the type without an import
-	// cycle). Scans read it through SideIndex to prune pages before
-	// pinning.
-	sideIndex any
+	// sideIndexes is a small keyed registry of opaque scan-side summaries
+	// attached to the set (the services zone map and microindex; core
+	// cannot name the types without an import cycle). Keys are the side
+	// objects' pfs tags, so one set carries several coexisting summaries;
+	// scans read them through SideIndex to prune pages before pinning.
+	sideIndexes map[string]any
 	// prefetchFilter, when non-nil, limits speculation to pages it accepts:
 	// Prefetch and the automatic read-ahead skip pages the filter rejects,
 	// and rejected pages never charge the starved-speculation reclaim
@@ -217,20 +224,52 @@ func (s *LocalitySet) NoteZoneMap(checks, skips int64) {
 	s.pool.stats.ZoneMapSkips.Add(skips)
 }
 
+// IndexChecks returns how many pages point-lookup scans evaluated against
+// this set's microindex.
+func (s *LocalitySet) IndexChecks() int64 { return s.idxChecks.Load() }
+
+// IndexHits returns how many of those checked pages the microindex kept as
+// candidates — every other page was dropped before the zone-map pass, any
+// pin, or any I/O.
+func (s *LocalitySet) IndexHits() int64 { return s.idxHits.Load() }
+
+// NoteMicroindex attributes one scan's microindex consultation to the set
+// and the pool: checks pages evaluated, hits the candidate subset kept.
+func (s *LocalitySet) NoteMicroindex(checks, hits int64) {
+	s.idxChecks.Add(checks)
+	s.idxHits.Add(hits)
+	s.pool.stats.IndexChecks.Add(checks)
+	s.pool.stats.IndexHits.Add(hits)
+}
+
+// NoteSideObjectRebuild records that one of the set's persisted side
+// objects (zone map, microindex) was present but unusable — torn or
+// undecodable — and was healed by a full-scan rebuild.
+func (s *LocalitySet) NoteSideObjectRebuild() { s.pool.stats.SideObjectRebuilds.Add(1) }
+
 // SetSideIndex attaches an opaque scan-side summary (e.g. the services zone
-// map) to the set; nil detaches. The set does not interpret it — the query
-// layer type-asserts what it finds.
-func (s *LocalitySet) SetSideIndex(idx any) {
+// map or microindex) under key — conventionally the summary's pfs
+// side-object tag; nil detaches that key. Keys are independent, so several
+// summaries coexist on one set. The set does not interpret the values — the
+// query layer type-asserts what it finds.
+func (s *LocalitySet) SetSideIndex(key string, idx any) {
 	s.mu.Lock()
-	s.sideIndex = idx
+	if idx == nil {
+		delete(s.sideIndexes, key)
+	} else {
+		if s.sideIndexes == nil {
+			s.sideIndexes = make(map[string]any)
+		}
+		s.sideIndexes[key] = idx
+	}
 	s.mu.Unlock()
 }
 
-// SideIndex returns the attached scan-side summary, or nil.
-func (s *LocalitySet) SideIndex() any {
+// SideIndex returns the scan-side summary attached under key, or nil.
+func (s *LocalitySet) SideIndex(key string) any {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sideIndex
+	return s.sideIndexes[key]
 }
 
 // SetPrefetchFilter installs (or with nil clears) a filter limiting

@@ -129,6 +129,7 @@ var Registry = []struct {
 	{"s9", S9Prefetch, "async prefetching read path: cold sequential/looping scans vs drive count, read-ahead on/off"},
 	{"s10", S10Columnar, "columnar page layout: selective scan-filter-agg, batch kernels vs row decode, warm and cold"},
 	{"s11", S11ZoneMap, "zone-map page skipping: selective scans with maps on/off, warm and cold, 1 and 4 drives"},
+	{"s12", S12Microindex, "microindex point lookups on a non-clustered key: index vs zone-map blooms vs unpruned, warm and cold"},
 }
 
 // Run executes one experiment by id.

@@ -128,7 +128,7 @@ func s11Config(o Options, t *Table, rows [][]byte, pageSize int64, mode string, 
 	if err := zm.Save(set); err != nil {
 		return err
 	}
-	set.SetSideIndex(nil)
+	set.SetSideIndex(services.ZoneMapTag, nil)
 	if _, err := services.EnsureZoneMap(set, zspec); err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@
 //	rank 20  core.BufferPool.regMu    pool set registry
 //	rank 30  core.LocalitySet.mu      per-set page table + residency state
 //	rank 40  services.ZoneMap.mu      per-set zone-map summaries
+//	rank 45  services.Microindex.mu   per-set microindex postings
 //	rank 50  memory.tlsfShard.cacheMu allocator shard front cache
 //	rank 60  memory.TLSF.mu           allocator shard heap
 //	rank 70  pfs.PagedFile.mu         paged-file extent index
@@ -46,6 +47,10 @@ const (
 	RankSet Rank = 30
 	// RankZoneMap orders services.ZoneMap.mu (zone-map summaries).
 	RankZoneMap Rank = 40
+	// RankMicroindex orders services.Microindex.mu (microindex postings).
+	// It sits after RankZoneMap so a scan may consult the zone map while
+	// holding index results, never the reverse while holding the index lock.
+	RankMicroindex Rank = 45
 	// RankAllocCache orders memory.tlsfShard.cacheMu (shard front cache).
 	RankAllocCache Rank = 50
 	// RankAllocTLSF orders memory.TLSF.mu (shard heap).
@@ -66,6 +71,7 @@ var rankNames = map[Rank]string{
 	RankRegistry:   "core.BufferPool.regMu",
 	RankSet:        "core.LocalitySet.mu",
 	RankZoneMap:    "services.ZoneMap.mu",
+	RankMicroindex: "services.Microindex.mu",
 	RankAllocCache: "memory.tlsfShard.cacheMu",
 	RankAllocTLSF:  "memory.TLSF.mu",
 	RankPFS:        "pfs.PagedFile.mu",

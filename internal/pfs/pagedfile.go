@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"pangea/internal/disk"
@@ -31,6 +32,14 @@ var ErrNoPage = errors.New("pfs: page has no on-disk image")
 // ErrNoSideObject is returned when reading a side object that was never
 // written.
 var ErrNoSideObject = errors.New("pfs: no such side object")
+
+// ErrCorruptSideObject is returned when a side object's on-disk frame fails
+// validation — a torn write (crash between truncate and the full payload
+// landing), a bit flip, or an object written by something that is not
+// WriteSideObject. Side objects are derived caches, so callers treat this
+// as "rebuild", never as data loss — but unlike ErrNoSideObject it means a
+// write happened and did not survive intact.
+var ErrCorruptSideObject = errors.New("pfs: side object corrupt or torn")
 
 const (
 	metaMagic   = 0x50414E47 // "PANG"
@@ -348,6 +357,19 @@ func (pf *PagedFile) sideFile(tag string, create bool) (*disk.File, error) {
 	return f, nil
 }
 
+// Side objects are framed on disk so a torn write is detectable: a fixed
+// header carrying the payload length and its CRC precedes the payload, and
+// ReadSideObject re-verifies both. WriteSideObject still truncates then
+// writes (side objects are rebuildable caches, so detection suffices —
+// readers that find a torn frame get ErrCorruptSideObject and rebuild),
+// but it writes the whole frame in one WriteAt so a crash can no longer
+// leave a prefix of the new object that parses as a short valid one.
+const (
+	sideMagic      = 0x44495350 // "PSID"
+	sideVersion    = 1
+	sideHeaderSize = 4 + 4 + 8 + 4 // magic, version, payload length, payload crc32
+)
+
 // WriteSideObject replaces the contents of the named side object.
 func (pf *PagedFile) WriteSideObject(tag string, data []byte) error {
 	pf.mu.Lock()
@@ -356,17 +378,26 @@ func (pf *PagedFile) WriteSideObject(tag string, data []byte) error {
 	if err != nil {
 		return err
 	}
+	frame := make([]byte, sideHeaderSize+len(data))
+	le := binary.LittleEndian
+	le.PutUint32(frame[0:4], sideMagic)
+	le.PutUint32(frame[4:8], sideVersion)
+	le.PutUint64(frame[8:16], uint64(len(data)))
+	le.PutUint32(frame[16:20], crc32.ChecksumIEEE(data))
+	copy(frame[sideHeaderSize:], data)
 	if err := f.Truncate(0); err != nil {
 		return err
 	}
-	if _, err := f.WriteAt(data, 0); err != nil {
+	if _, err := f.WriteAt(frame, 0); err != nil {
 		return err
 	}
 	return f.Sync()
 }
 
-// ReadSideObject returns the full contents of the named side object, or an
-// error wrapping ErrNoSideObject when it was never written.
+// ReadSideObject returns the full contents of the named side object, an
+// error wrapping ErrNoSideObject when it was never written, or one wrapping
+// ErrCorruptSideObject when the on-disk frame fails validation (torn or
+// corrupted object — rebuild it).
 func (pf *PagedFile) ReadSideObject(tag string) ([]byte, error) {
 	pf.mu.Lock()
 	f, err := pf.sideFile(tag, false)
@@ -378,14 +409,31 @@ func (pf *PagedFile) ReadSideObject(tag string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, size)
-	if size == 0 {
-		return buf, nil
+	if size < sideHeaderSize {
+		return nil, fmt.Errorf("%w: %s of %s is %d bytes, shorter than the %d-byte frame header",
+			ErrCorruptSideObject, tag, pf.name, size, sideHeaderSize)
 	}
+	buf := make([]byte, size)
 	if _, err := f.ReadAt(buf, 0); err != nil {
 		return nil, err
 	}
-	return buf, nil
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:4]) != sideMagic {
+		return nil, fmt.Errorf("%w: %s of %s has bad frame magic", ErrCorruptSideObject, tag, pf.name)
+	}
+	if v := le.Uint32(buf[4:8]); v != sideVersion {
+		return nil, fmt.Errorf("%w: %s of %s has frame version %d", ErrCorruptSideObject, tag, pf.name, v)
+	}
+	plen := le.Uint64(buf[8:16])
+	if plen != uint64(size-sideHeaderSize) {
+		return nil, fmt.Errorf("%w: %s of %s claims %d payload bytes, file holds %d",
+			ErrCorruptSideObject, tag, pf.name, plen, size-sideHeaderSize)
+	}
+	payload := buf[sideHeaderSize:]
+	if crc32.ChecksumIEEE(payload) != le.Uint32(buf[16:20]) {
+		return nil, fmt.Errorf("%w: %s of %s fails its checksum", ErrCorruptSideObject, tag, pf.name)
+	}
+	return payload, nil
 }
 
 // closeAll closes every underlying file and returns the first close

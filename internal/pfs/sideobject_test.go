@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"pangea/internal/disk"
 )
 
 // TestSideObjectRoundTrip: whole-object write/read, overwrite with a
@@ -77,6 +79,97 @@ func TestSideObjectSurvivesReopen(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("after reopen: %q, want %q", got, want)
+	}
+}
+
+// TestSideObjectRejectsTornWrites: a crash between WriteSideObject's
+// truncate and the full frame landing leaves a torn object; the frame's
+// length+checksum header makes every such state — empty file, truncated
+// payload, flipped byte — fail the read deterministically with
+// ErrCorruptSideObject instead of handing a prefix to the decoder.
+func TestSideObjectRejectsTornWrites(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A, 0x3C}, 500)
+	corrupt := func(t *testing.T, mutate func(f *disk.File, size int64) error) {
+		t.Helper()
+		a := newArray(t, 2)
+		pf, err := Create(a, "set1", 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pf.Remove()
+		if err := pf.WriteSideObject("zmap", payload); err != nil {
+			t.Fatal(err)
+		}
+		// Tear the object behind the paged file's back, as a crash would.
+		f, err := a.Disk(0).OpenFile("set1.zmap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := f.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mutate(f, size); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Reopen the instance so the read sees only the on-disk state.
+		if err := pf.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pf2, err := Open(a, "set1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pf2.ReadSideObject("zmap"); !errors.Is(err, ErrCorruptSideObject) {
+			t.Fatalf("read of torn side object = %v, want ErrCorruptSideObject", err)
+		}
+	}
+	t.Run("truncate-then-crash", func(t *testing.T) {
+		// Crash right after the truncate: the file exists but is empty.
+		corrupt(t, func(f *disk.File, _ int64) error { return f.Truncate(0) })
+	})
+	t.Run("partial-frame", func(t *testing.T) {
+		// Crash mid-write: only a prefix of the new frame landed.
+		corrupt(t, func(f *disk.File, size int64) error { return f.Truncate(size / 2) })
+	})
+	t.Run("flipped-byte", func(t *testing.T) {
+		corrupt(t, func(f *disk.File, size int64) error {
+			_, err := f.WriteAt([]byte{0xFF}, size-3)
+			return err
+		})
+	})
+	t.Run("header-only", func(t *testing.T) {
+		// Everything but the payload landed: length check must fire.
+		corrupt(t, func(f *disk.File, _ int64) error { return f.Truncate(20) })
+	})
+}
+
+// TestSideObjectWriteFaultLeavesDetectableState: a write that fails mid
+// WriteSideObject (injected drive fault after the truncate) must not leave
+// a state a later reader accepts.
+func TestSideObjectWriteFaultLeavesDetectableState(t *testing.T) {
+	a := newArray(t, 1)
+	pf, err := Create(a, "set1", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Remove()
+	if err := pf.WriteSideObject("zmap", []byte("good object")); err != nil {
+		t.Fatal(err)
+	}
+	a.Disk(0).SetWriteFault(func() error { return errors.New("drive gone") })
+	err = pf.WriteSideObject("zmap", []byte("replacement that never lands"))
+	a.Disk(0).SetWriteFault(nil)
+	if err == nil {
+		t.Fatal("WriteSideObject succeeded through a write fault")
+	}
+	// The failed replacement truncated the old object away; the reader must
+	// report corruption, not silently return an empty or partial object.
+	if _, err := pf.ReadSideObject("zmap"); !errors.Is(err, ErrCorruptSideObject) {
+		t.Fatalf("read after failed replacement = %v, want ErrCorruptSideObject", err)
 	}
 }
 

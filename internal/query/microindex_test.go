@@ -1,0 +1,216 @@
+package query
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"pangea/internal/core"
+	"pangea/internal/services"
+)
+
+// permRows builds n rows whose key column (col 1) is a permutation of
+// 0..n-1 scattered so consecutive keys land on distant pages: every key
+// occurs exactly once, every page's key range spans nearly the whole
+// domain (min/max cannot prune a point probe), and at a few hundred
+// distinct keys per page the 256-bit blooms are close to saturated. The
+// worst case for a zone map and the best case for a microindex.
+func permRows(n int) []Row {
+	const stride = 7919 // prime, coprime with the n values used here
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = mkRow(uint32(i), uint32((i*stride)%n), uint32(i%100))
+	}
+	return rows
+}
+
+func ensureBoth(t *testing.T, set *core.LocalitySet) {
+	t.Helper()
+	if _, err := services.EnsureZoneMap(set, services.ZoneMapSpec{Schema: testSchema(), BloomCols: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := services.EnsureMicroindex(set, services.MicroindexSpec{Schema: testSchema(), Cols: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanSpecIndexPointLookup: a point lookup on a non-clustered key
+// column visits strictly fewer pages with the microindex than zone-map
+// blooms alone — the counters prove it — while returning identical rows,
+// and a full-range scan never consults the index at all.
+func TestScanSpecIndexPointLookup(t *testing.T) {
+	bp := newPool(t, 32<<20)
+	const n = 20000
+	rows := permRows(n)
+	set := loadColSet(t, bp, "c", rows)
+	ensureBoth(t, set)
+	npages := set.NumPages()
+	if npages < 20 {
+		t.Fatalf("need a multi-page set for this test, got %d pages", npages)
+	}
+
+	count := func(pred Predicate, hint ScanHint) int64 {
+		t.Helper()
+		got, err := ScanSpec{Set: set, Threads: 2, Pred: pred, Hint: hint}.CountBatches(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	// visited reports how many pages a scan actually evaluated rows on,
+	// from the counter deltas it caused.
+	pred := ColEq{Col: 1, V: 4242}
+
+	// Zone-map-only baseline: blooms over ~340 distinct keys per page are
+	// nearly saturated, so most pages survive the probe.
+	zc0, zs0 := set.ZoneMapChecks(), set.ZoneMapSkips()
+	ic0 := set.IndexChecks()
+	if got := count(pred, HintNoIndex); got != 1 {
+		t.Fatalf("zone-map-only point lookup found %d rows, want 1", got)
+	}
+	bloomVisited := (set.ZoneMapChecks() - zc0) - (set.ZoneMapSkips() - zs0)
+	if set.IndexChecks() != ic0 {
+		t.Error("HintNoIndex still consulted the microindex")
+	}
+	if set.ZoneMapChecks()-zc0 != npages {
+		t.Errorf("zone-map-only scan checked %d pages, want all %d", set.ZoneMapChecks()-zc0, npages)
+	}
+
+	// Indexed: the candidate list is exactly the one page holding the key;
+	// the zone map then only sees that candidate.
+	ic0, ih0 := set.IndexChecks(), set.IndexHits()
+	zc0 = set.ZoneMapChecks()
+	if got := count(pred, HintNone); got != 1 {
+		t.Fatalf("indexed point lookup found %d rows, want 1", got)
+	}
+	checks, hits := set.IndexChecks()-ic0, set.IndexHits()-ih0
+	if checks != npages {
+		t.Errorf("index evaluated %d pages, want %d", checks, npages)
+	}
+	if hits != 1 {
+		t.Errorf("index kept %d candidate pages, want 1", hits)
+	}
+	if zmc := set.ZoneMapChecks() - zc0; zmc != hits {
+		t.Errorf("zone map checked %d pages after the index pass, want the %d candidates", zmc, hits)
+	}
+	if hits >= bloomVisited {
+		t.Errorf("index visited %d pages, blooms alone visited %d — index must be strictly better here",
+			hits, bloomVisited)
+	}
+
+	// Equivalence with the unpruned truth, row path included.
+	if got := count(pred, HintNoPrune); got != 1 {
+		t.Fatalf("unpruned point lookup found %d rows, want 1", got)
+	}
+	var rowN atomic.Int64
+	err := ScanSpec{Set: set, Threads: 2, Pred: pred}.Run(func(_ int, r Row) error {
+		if rowGroup(r) != 4242 {
+			t.Errorf("indexed row scan surfaced key %d", rowGroup(r))
+		}
+		rowN.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowN.Load() != 1 {
+		t.Fatalf("indexed row scan found %d rows, want 1", rowN.Load())
+	}
+
+	// A full-range scan is unregressed: the predicate's shape cannot be
+	// answered by postings, so the index is never consulted and every row
+	// still arrives.
+	ic0 = set.IndexChecks()
+	if got := count(ColRange{Col: 0, Lo: 0, Hi: 1 << 40}, HintNone); got != n {
+		t.Errorf("full-range scan found %d rows, want %d", got, n)
+	}
+	if set.IndexChecks() != ic0 {
+		t.Error("full-range scan consulted the microindex")
+	}
+}
+
+// TestScanSpecIndexEquivalenceRandom: on random data, indexed scans return
+// exactly what zone-map-only and unpruned scans return, across point,
+// conjunction and disjunction predicates, on both layouts and both
+// pipelines.
+func TestScanSpecIndexEquivalenceRandom(t *testing.T) {
+	bp := newPool(t, 32<<20)
+	rng := rand.New(rand.NewSource(42))
+	const n = 8000
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = mkRow(uint32(i), uint32(rng.Intn(2000)), uint32(rng.Intn(100)))
+	}
+	colSet := loadColSet(t, bp, "c", rows)
+	rowSet := loadSet(t, bp, "r", rows)
+	ensureBoth(t, colSet)
+	ensureBoth(t, rowSet)
+
+	preds := []Predicate{
+		ColEq{Col: 1, V: uint64(rng.Intn(2000))},
+		ColEq{Col: 1, V: 2001}, // absent key: zero candidate pages
+		And{ColEq{Col: 1, V: uint64(rng.Intn(2000))}, ColRange{Col: 2, Lo: 0, Hi: 50}},
+		And{ColEq{Col: 1, V: 7}, ColEq{Col: 2, V: 3}}, // conjunction of two lookups (col 2 unindexed)
+		Or{ColEq{Col: 1, V: 11}, ColEq{Col: 1, V: 1999}},
+		Or{ColEq{Col: 1, V: 13}, ColRange{Col: 2, Lo: 90, Hi: 100}}, // unanswerable arm: no index use
+	}
+	for i := 0; i < 10; i++ {
+		preds = append(preds, ColEq{Col: 1, V: uint64(rng.Intn(2200))})
+	}
+	for pi, pred := range preds {
+		truth := int64(0)
+		match, err := pred.compileRow(testSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if match(r) {
+				truth++
+			}
+		}
+		for _, hint := range []ScanHint{HintNone, HintNoIndex, HintNoPrune} {
+			got, err := ScanSpec{Set: colSet, Threads: 2, Pred: pred, Hint: hint}.CountBatches(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != truth {
+				t.Errorf("pred %d hint %d: batch scan found %d rows, want %d", pi, hint, got, truth)
+			}
+			var rn atomic.Int64
+			err = ScanSpec{Set: rowSet, Threads: 2, Pred: pred, Schema: testSchema(), Hint: hint}.
+				Run(func(int, Row) error { rn.Add(1); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rn.Load() != truth {
+				t.Errorf("pred %d hint %d: row scan found %d rows, want %d", pi, hint, rn.Load(), truth)
+			}
+		}
+	}
+}
+
+// TestScanSpecIgnoresStaleIndex: an index that no longer covers the set
+// (pages appended after it was built) must never answer — authoritative
+// semantics make a stale index wrong, not merely suboptimal.
+func TestScanSpecIgnoresStaleIndex(t *testing.T) {
+	bp := newPool(t, 16<<20)
+	rows := permRows(4000)
+	set := loadColSet(t, bp, "c", rows[:2000])
+	ensureBoth(t, set)
+	// Grow the set behind the attached index's back.
+	if err := services.WriteAll(set, rows[2000:]); err != nil {
+		t.Fatal(err)
+	}
+	pred := ColEq{Col: 1, V: uint64(rowGroup(rows[3999]))} // key only in the new pages
+	ic0 := set.IndexChecks()
+	got, err := ScanSpec{Set: set, Threads: 2, Pred: pred}.CountBatches(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("scan over stale-indexed set found %d rows, want 1", got)
+	}
+	if set.IndexChecks() != ic0 {
+		t.Error("scan consulted an index that does not cover the set")
+	}
+}

@@ -35,6 +35,22 @@ type PruneStats interface {
 	MayContain(pageNum int64, col int, v uint64) bool
 }
 
+// PointIndex is the candidate-lookup surface a microindex exposes to
+// equality predicates — implemented by *services.Microindex. Unlike
+// PruneStats it is authoritative, not conservative: an answered lookup
+// asserts that every page holding the value is in the result, so pages
+// absent from it are excluded outright. ScanSpec therefore only consults a
+// PointIndex after Covers confirms the index describes every page the scan
+// would visit.
+type PointIndex interface {
+	// Covers reports whether every page 0..n-1 is described by the index.
+	Covers(n int64) bool
+	// LookupPages returns the sorted candidate pages that may hold value v
+	// in column col. ok=false means the column is not indexed and nothing
+	// can be concluded; ok=true with an empty result means no page holds v.
+	LookupPages(col int, v uint64) (pages []int64, ok bool)
+}
+
 // Predicate is one filter expression. Implementations are the algebra's
 // node types (ColRange, ColRangeF64, ColEq, And, Or, RowPred); the methods
 // are unexported because the set of compilation targets is the scan API's
@@ -51,6 +67,12 @@ type Predicate interface {
 	evalBatchRow(b *Batch, row int) bool
 	// prune reports whether the page provably holds no matching row.
 	prune(stats PruneStats, pageNum int64) bool
+	// indexPages answers the predicate from a point index: the sorted pages
+	// that may hold a matching row. ok=false means the predicate's shape (or
+	// the index's column set) cannot answer it, and the scan falls back to
+	// visiting every page; an answered result is authoritative and must not
+	// omit any page that could match.
+	indexPages(idx PointIndex) (pages []int64, ok bool)
 }
 
 // schemaCol validates a column index against the schema.
@@ -177,6 +199,8 @@ func (p ColRange) prune(stats PruneStats, pageNum int64) bool {
 	return ok && (max < p.Lo || min >= p.Hi)
 }
 
+func (p ColRange) indexPages(PointIndex) ([]int64, bool) { return nil, false }
+
 // ColRangeF64 keeps rows with Lo <= col <= Hi under the float64
 // interpretation of an 8-byte column — closed on both ends, the shape of
 // TPC-H's discount band. NaN lanes never match.
@@ -219,6 +243,8 @@ func (p ColRangeF64) prune(stats PruneStats, pageNum int64) bool {
 	min, max, ok := stats.ColRangeF64(pageNum, p.Col)
 	return ok && (max < p.Lo || min > p.Hi)
 }
+
+func (p ColRangeF64) indexPages(PointIndex) ([]int64, bool) { return nil, false }
 
 // ColEq keeps rows whose column equals V — the equality node, and the one
 // that exploits a zone map's bloom filter: min/max cannot prune a point
@@ -275,6 +301,12 @@ func (p ColEq) prune(stats PruneStats, pageNum int64) bool {
 	return !stats.MayContain(pageNum, p.Col, p.V)
 }
 
+// indexPages is the node the microindex exists for: a point probe answers
+// directly from the value's posting list.
+func (p ColEq) indexPages(idx PointIndex) ([]int64, bool) {
+	return idx.LookupPages(p.Col, p.V)
+}
+
 // And is the conjunction of its children: each child narrows the batch
 // selection in turn, and a page any child can prune is pruned. An empty And
 // matches everything.
@@ -324,6 +356,26 @@ func (p And) prune(stats PruneStats, pageNum int64) bool {
 		}
 	}
 	return false
+}
+
+// indexPages intersects the answers of whichever children the index can
+// answer: a conjunction's matches lie in every child's candidate set, so one
+// answered child is enough, and unanswerable children simply don't narrow.
+func (p And) indexPages(idx PointIndex) ([]int64, bool) {
+	var out []int64
+	answered := false
+	for _, c := range p {
+		pages, ok := c.indexPages(idx)
+		if !ok {
+			continue
+		}
+		if !answered {
+			out, answered = pages, true
+			continue
+		}
+		out = intersectSorted(out, pages)
+	}
+	return out, answered
 }
 
 // Or is the disjunction of its children: a row matches if any child does,
@@ -379,6 +431,25 @@ func (p Or) prune(stats PruneStats, pageNum int64) bool {
 	return true
 }
 
+// indexPages unions the children's answers — sound only when every child is
+// answered, since a single unanswerable child could match anywhere. An empty
+// Or stays unanswered, mirroring the prune path's treatment of vacuous
+// disjunctions.
+func (p Or) indexPages(idx PointIndex) ([]int64, bool) {
+	if len(p) == 0 {
+		return nil, false
+	}
+	var out []int64
+	for _, c := range p {
+		pages, ok := c.indexPages(idx)
+		if !ok {
+			return nil, false
+		}
+		out = unionSorted(out, pages)
+	}
+	return out, true
+}
+
 // RowPred is the escape hatch: an opaque row closure for the filter shapes
 // the algebra cannot express (cross-column comparisons, decoded string
 // probes). It pushes down to the row layer only — batch evaluation
@@ -404,3 +475,46 @@ func (p RowPred) evalBatchRow(b *Batch, row int) bool {
 }
 
 func (p RowPred) prune(PruneStats, int64) bool { return false }
+
+func (p RowPred) indexPages(PointIndex) ([]int64, bool) { return nil, false }
+
+// intersectSorted merges two ascending page lists into their intersection.
+func intersectSorted(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// unionSorted merges two ascending page lists into their deduplicated union.
+func unionSorted(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -14,9 +14,14 @@ const (
 	// HintNone lets the scan use every optimization it can see.
 	HintNone ScanHint = iota
 	// HintNoPrune evaluates the predicate against every row but never
-	// consults zone maps — the baseline side of page-skipping experiments,
-	// and an escape hatch if a summary is ever suspected stale.
+	// consults zone maps or microindexes — the baseline side of
+	// page-skipping experiments, and an escape hatch if a summary is ever
+	// suspected stale.
 	HintNoPrune
+	// HintNoIndex consults zone maps but never the microindex — the
+	// zone-map-only side of point-lookup experiments, isolating what the
+	// index adds over bloom pruning.
+	HintNoIndex
 )
 
 // ScanSpec is the unified scan entry point: one declarative description —
@@ -88,30 +93,43 @@ func (sp ScanSpec) compile() (func(Row) bool, error) {
 	return sp.Pred.compileRow(schema)
 }
 
-// pages runs the prune pass: the page list the scan will visit, plus a
-// cleanup that must run when the scan ends. With a predicate, pruning
-// allowed, and a zone map attached to the set, pages the predicate excludes
-// are dropped from the list and masked out of the set's prefetch window for
-// the scan's duration (the filter is a set-wide hint; concurrent predicate
-// scans of one set may briefly mask each other's speculation, never their
-// demand reads). Every evaluated page counts toward the set's
-// ZoneMapChecks, every dropped one toward ZoneMapSkips.
+// pages runs the pruning passes: the page list the scan will visit, plus a
+// cleanup that must run when the scan ends. With a predicate and pruning
+// allowed, the set's microindex (if attached and covering — its answers are
+// authoritative, so a stale index is never consulted) first narrows the
+// list to the predicate's explicit candidate pages, then the zone map
+// drops candidates whose summaries exclude a match. Surviving pages are the
+// scan's demand reads; everything else is masked out of the set's prefetch
+// window for the scan's duration (the filter is a set-wide hint; concurrent
+// predicate scans of one set may briefly mask each other's speculation,
+// never their demand reads). Pages evaluated against the index count toward
+// the set's IndexChecks and kept candidates toward IndexHits; pages
+// evaluated against the zone map count toward ZoneMapChecks, pruned ones
+// toward ZoneMapSkips.
 func (sp ScanSpec) pages() ([]int64, func()) {
 	all := sp.Set.PageNums()
 	if sp.Pred == nil || sp.Hint == HintNoPrune {
 		return all, func() {}
 	}
-	stats, ok := sp.Set.SideIndex().(PruneStats)
-	if !ok {
-		return all, func() {}
-	}
-	kept := make([]int64, 0, len(all))
-	for _, num := range all {
-		if !sp.Pred.prune(stats, num) {
-			kept = append(kept, num)
+	kept := all
+	if sp.Hint != HintNoIndex {
+		if idx, ok := sp.Set.SideIndex(services.MicroindexTag).(PointIndex); ok && idx.Covers(int64(len(all))) {
+			if cand, answered := sp.Pred.indexPages(idx); answered {
+				kept = cand
+				sp.Set.NoteMicroindex(int64(len(all)), int64(len(cand)))
+			}
 		}
 	}
-	sp.Set.NoteZoneMap(int64(len(all)), int64(len(all)-len(kept)))
+	if stats, ok := sp.Set.SideIndex(services.ZoneMapTag).(PruneStats); ok {
+		pruned := make([]int64, 0, len(kept))
+		for _, num := range kept {
+			if !sp.Pred.prune(stats, num) {
+				pruned = append(pruned, num)
+			}
+		}
+		sp.Set.NoteZoneMap(int64(len(kept)), int64(len(kept)-len(pruned)))
+		kept = pruned
+	}
 	if len(kept) == len(all) {
 		return all, func() {}
 	}

@@ -129,6 +129,108 @@ func TestZoneMapRoundTrip(t *testing.T) {
 	}
 }
 
+// fuzzMISpec is the fixed spec the microindex fuzzer decodes against: the
+// zone-map fuzzer's two-column schema with postings on the key column.
+func fuzzMISpec() MicroindexSpec {
+	return MicroindexSpec{
+		Schema: MakeSchema([]string{"k", "v"}, []int{8, 4}),
+		Cols:   []int{0},
+	}
+}
+
+// validMicroindexSeed marshals a real index under fuzzMISpec: two parsed
+// pages plus one invalid page, so the fuzzer mutates coverage flags and
+// posting lists from a shape that exercises both.
+func validMicroindexSeed(t testing.TB) []byte {
+	m, err := NewMicroindex(fuzzMISpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 12)
+	for page := int64(0); page < 2; page++ {
+		for r := 0; r < 4; r++ {
+			binary.LittleEndian.PutUint64(rec[0:8], uint64(page*100+int64(r)))
+			binary.LittleEndian.PutUint32(rec[8:12], uint32(r))
+			m.NoteAppend(page, rec)
+		}
+	}
+	m.NoteAppend(2, rec[:4]) // short record: page 2 covered but invalid
+	return m.Marshal()
+}
+
+// hugeMicroindexCountSeed is the count-overflow shape the decoder must
+// bound before any size arithmetic: a well-formed object whose npages
+// field claims 2^61 pages.
+func hugeMicroindexCountSeed(t testing.TB) []byte {
+	data := validMicroindexSeed(t)
+	binary.LittleEndian.PutUint64(data[32:40], 1<<61)
+	return data
+}
+
+// TestLoadMicroindexRejectsHugePageCount pins the npages bound.
+func TestLoadMicroindexRejectsHugePageCount(t *testing.T) {
+	if _, err := LoadMicroindex(hugeMicroindexCountSeed(t), fuzzMISpec()); err == nil {
+		t.Fatal("LoadMicroindex accepted an index claiming 2^61 pages")
+	}
+}
+
+// TestMicroindexSeedRoundTrip pins the happy path the fuzzer mutates from.
+func TestMicroindexSeedRoundTrip(t *testing.T) {
+	m, err := LoadMicroindex(validMicroindexSeed(t), fuzzMISpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPages() != 3 {
+		t.Fatalf("round-tripped index has %d pages, want 3", m.NumPages())
+	}
+	if !m.Covers(3) || m.Covers(4) {
+		t.Fatalf("coverage: Covers(3)=%v Covers(4)=%v, want true/false", m.Covers(3), m.Covers(4))
+	}
+	// Key 101 lives on page 1; invalid page 2 joins every lookup.
+	if pages, ok := m.LookupPages(0, 101); !ok || len(pages) != 2 || pages[0] != 1 || pages[1] != 2 {
+		t.Fatalf("LookupPages(0, 101) = %v ok=%v, want [1 2] true", pages, ok)
+	}
+}
+
+// FuzzLoadMicroindex throws arbitrary bytes at the microindex side-object
+// decoder: it must either reject the buffer or return an index whose
+// lookups stay sorted and in bounds — the authoritative-semantics contract
+// the query layer builds candidate page lists from.
+func FuzzLoadMicroindex(f *testing.F) {
+	f.Add(validMicroindexSeed(f))
+	f.Add(hugeMicroindexCountSeed(f))
+	f.Add([]byte{})
+	f.Add(make([]byte, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := LoadMicroindex(data, fuzzMISpec())
+		if err != nil {
+			return
+		}
+		for n := int64(-1); n < 5; n++ {
+			m.Covers(n)
+		}
+		for _, v := range []uint64{0, 1, 101, ^uint64(0)} {
+			for c := -1; c < 3; c++ {
+				pages, ok := m.LookupPages(c, v)
+				if !ok {
+					if pages != nil {
+						t.Fatalf("unindexed column %d answered %v", c, pages)
+					}
+					continue
+				}
+				for i := range pages {
+					if pages[i] < 0 || (i > 0 && pages[i] <= pages[i-1]) {
+						t.Fatalf("LookupPages(%d, %d) not strictly ascending: %v", c, v, pages)
+					}
+				}
+			}
+		}
+		if _, lerr := LoadMicroindex(m.Marshal(), fuzzMISpec()); lerr != nil {
+			t.Fatalf("re-marshal of an accepted index was rejected: %v", lerr)
+		}
+	})
+}
+
 // FuzzLoadZoneMap throws arbitrary bytes at the zone-map side-object
 // decoder: it must either reject the buffer or return a usable map whose
 // query methods stay in bounds.

@@ -35,6 +35,21 @@ type SeqWriter struct {
 	OnAppend func(pageNum int64, rec []byte)
 }
 
+// ChainOnAppend adds fn to the writer's row-append hook, running after any
+// hook already attached — the row-path counterpart of
+// ColumnarWriter.ChainOnSeal, so a zone map and a microindex can both ride
+// the same writer.
+func (w *SeqWriter) ChainOnAppend(fn func(pageNum int64, rec []byte)) {
+	if prev := w.OnAppend; prev != nil {
+		w.OnAppend = func(num int64, rec []byte) {
+			prev(num, rec)
+			fn(num, rec)
+		}
+	} else {
+		w.OnAppend = fn
+	}
+}
+
 // NewSeqWriter attaches a sequential allocator to the set.
 func NewSeqWriter(set *core.LocalitySet) *SeqWriter {
 	set.SetWriting(core.SequentialWrite)

@@ -2,12 +2,14 @@ package services
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
 
 	"pangea/internal/core"
 	"pangea/internal/locking"
+	"pangea/internal/pfs"
 )
 
 // Zone maps are per-page column summaries — min/max per fixed-width column,
@@ -540,49 +542,78 @@ func AttachZoneMap(w *SeqWriter, spec ZoneMapSpec) (*ZoneMap, error) {
 					i, z.widths[i], w.set.Name(), cw)
 			}
 		}
-		w.cw.OnSeal = z.NoteColumnarPage
+		w.cw.ChainOnSeal(z.NoteColumnarPage)
 	} else {
-		w.OnAppend = z.NoteAppend
+		w.ChainOnAppend(z.NoteAppend)
 	}
-	w.set.SetSideIndex(z)
+	w.set.SetSideIndex(ZoneMapTag, z)
 	return z, nil
 }
 
 // EnsureZoneMap returns a usable zone map for the set: the attached one if
 // it matches the spec and covers every page; else the persisted side object
 // if it parses against the spec and covers every page; else a fresh rebuild
-// by one full scan (vectorized over columnar pages, record-walked over row
-// pages), persisted and attached before returning — absent or stale side
-// objects on seed sets heal here.
+// by one full scan, persisted and attached before returning — absent, torn
+// or stale side objects on seed sets heal here. A real read failure (a
+// drive fault, not a missing or corrupt object) propagates instead of
+// triggering a rebuild: healing over it would mask the fault and overwrite
+// an object that may be intact on disk.
 func EnsureZoneMap(set *core.LocalitySet, spec ZoneMapSpec) (*ZoneMap, error) {
 	n := set.NumPages()
-	if z, ok := set.SideIndex().(*ZoneMap); ok && z.matches(spec) && z.Covers(n) {
+	if z, ok := set.SideIndex(ZoneMapTag).(*ZoneMap); ok && z.matches(spec) && z.Covers(n) {
 		return z, nil
 	}
-	if data, err := set.ReadSideObject(ZoneMapTag); err == nil {
-		if z, err := LoadZoneMap(data, spec); err == nil && z.Covers(n) {
-			set.SetSideIndex(z)
+	switch data, err := set.ReadSideObject(ZoneMapTag); {
+	case err == nil:
+		if z, lerr := LoadZoneMap(data, spec); lerr != nil {
+			// Read back fine but does not decode against the spec: count
+			// the corrupt-object heal and rebuild.
+			set.NoteSideObjectRebuild()
+		} else if z.Covers(n) {
+			set.SetSideIndex(ZoneMapTag, z)
 			return z, nil
 		}
+		// Decoded but stale (pages appended since the save): plain rebuild.
+	case errors.Is(err, pfs.ErrNoSideObject):
+		// Never written (seed set): plain rebuild.
+	case errors.Is(err, pfs.ErrCorruptSideObject):
+		// Torn by a crash mid-write: count the heal and rebuild.
+		set.NoteSideObjectRebuild()
+	default:
+		return nil, fmt.Errorf("services: read zone map of %q: %w", set.Name(), err)
 	}
 	z, err := NewZoneMap(spec)
 	if err != nil {
 		return nil, err
 	}
+	if err := rebuildFromScan(set, n, z.NoteColumnarPage, z.NoteAppend); err != nil {
+		return nil, fmt.Errorf("services: rebuild zone map of %q: %w", set.Name(), err)
+	}
+	if err := z.Save(set); err != nil {
+		return nil, err
+	}
+	set.SetSideIndex(ZoneMapTag, z)
+	return z, nil
+}
+
+// rebuildFromScan drives one full scan of the set through a side object's
+// note hooks — vectorized over columnar pages, record-walked over row pages.
+// The heal path shared by EnsureZoneMap and EnsureMicroindex.
+func rebuildFromScan(set *core.LocalitySet, n int64, noteCol func(int64, *ColumnarPage), noteRow func(int64, []byte)) error {
 	for num := int64(0); num < n; num++ {
 		p, err := set.Pin(num)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		buf := p.Bytes()
 		if IsColumnarPage(buf) {
 			var view ColumnarPage
 			if err = view.Reset(buf); err == nil {
-				z.NoteColumnarPage(num, &view)
+				noteCol(num, &view)
 			}
 		} else {
 			err = WalkPage(buf, func(rec []byte) error {
-				z.NoteAppend(num, rec)
+				noteRow(num, rec)
 				return nil
 			})
 		}
@@ -590,12 +621,8 @@ func EnsureZoneMap(set *core.LocalitySet, spec ZoneMapSpec) (*ZoneMap, error) {
 			err = uerr
 		}
 		if err != nil {
-			return nil, fmt.Errorf("services: rebuild zone map of %q: %w", set.Name(), err)
+			return err
 		}
 	}
-	if err := z.Save(set); err != nil {
-		return nil, err
-	}
-	set.SetSideIndex(z)
-	return z, nil
+	return nil
 }

@@ -64,7 +64,12 @@ func LoadLayout(e *query.Executor, d *Data, pageSize int64, layout core.PageLayo
 		}
 	}
 	if services.ZoneMapsDefault() {
-		return EnsureLineitemZoneMaps(e)
+		if err := EnsureLineitemZoneMaps(e); err != nil {
+			return err
+		}
+	}
+	if services.MicroindexDefault() {
+		return EnsureLineitemMicroindexes(e)
 	}
 	return nil
 }
@@ -93,6 +98,33 @@ func EnsureLineitemZoneMaps(e *query.Executor) error {
 		}
 		if _, err := services.EnsureZoneMap(s, LineitemZoneSpec()); err != nil {
 			return fmt.Errorf("tpch: zone map for lineitem on node %d: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// LineitemMicroindexSpec is the posting-list shape for the benchmark's
+// equality predicates: l_shipmode, the column Q12 probes with an equality
+// disjunction, is the only lineitem column queried by point value.
+func LineitemMicroindexSpec() services.MicroindexSpec {
+	return services.MicroindexSpec{
+		Schema: LineitemSchema(),
+		Cols:   []int{LiColShipMode},
+	}
+}
+
+// EnsureLineitemMicroindexes builds (or reloads from the persisted side
+// object) a microindex for every node's lineitem partition, mirroring
+// EnsureLineitemZoneMaps. Load calls this under the PANGEA_MICROINDEX
+// toggle; callers with their own deployments can invoke it directly.
+func EnsureLineitemMicroindexes(e *query.Executor) error {
+	for node := range e.Workers {
+		s, err := e.Set(node, "lineitem")
+		if err != nil {
+			return err
+		}
+		if _, err := services.EnsureMicroindex(s, LineitemMicroindexSpec()); err != nil {
+			return fmt.Errorf("tpch: microindex for lineitem on node %d: %w", node, err)
 		}
 	}
 	return nil
